@@ -1,0 +1,222 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated cluster and writes the results as text tables
+// (plus CSV timelines and DOT graphs where applicable).
+//
+// Usage:
+//
+//	experiments [-seed N] [-out DIR] [-quick] [-run LIST]
+//
+// -run selects a comma-separated subset of:
+// table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2
+// (fig4 and fig5 share one set of runs and always run together).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 1, "master seed for all experiments")
+		out   = flag.String("out", "", "directory for result files (default: stdout only)")
+		quick = flag.Bool("quick", false, "smaller run counts (for smoke testing)")
+		run   = flag.String("run", "", "comma-separated experiment subset (default: all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, name := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	env := experiments.NewEnv(*seed)
+	seeds := 3
+	t1runs := 12
+	fig8Runs := 3
+	if *quick {
+		seeds = 1
+		t1runs = 6
+		fig8Runs = 1
+	}
+
+	emit := func(name, content string) {
+		fmt.Println(content)
+		if *out != "" {
+			path := filepath.Join(*out, name+".txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if selected("table1") {
+		step("Table 1: recurring-job completion-time variance")
+		t1, err := experiments.RecurringVariance(env, experiments.Table1Config{RunsPerJob: t1runs})
+		if err != nil {
+			fatal(err)
+		}
+		emit("table1", t1.Render())
+	}
+	if selected("fig1") {
+		step("Figure 1: inter-job dependencies")
+		f1, err := experiments.Dependencies(env, 5000)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig1", f1.Render())
+	}
+	if selected("table2") {
+		step("Table 2: evaluation job statistics")
+		t2, err := experiments.JobStatistics(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2", t2.Render())
+	}
+	if selected("fig3") {
+		step("Figure 3: stage graphs")
+		f3, err := experiments.StageGraphs(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig3", f3.Render())
+		if *out != "" {
+			for job, dot := range f3.DOT {
+				path := filepath.Join(*out, "fig3-job"+job+".dot")
+				if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	if selected("fig4") || selected("fig5") {
+		step("Figures 4 & 5: policy comparison (the slow one)")
+		cmp, err := experiments.PolicyComparison(env, experiments.ComparisonConfig{SeedsPerCase: seeds})
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4", cmp.RenderFig4())
+		emit("fig5", cmp.RenderFig5())
+	}
+	if selected("fig6") {
+		step("Figure 6: adaptation time-lapses")
+		f6, err := experiments.Timelapses(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig6", f6.Render())
+		if *out != "" {
+			for i, c := range f6.Cases {
+				var b strings.Builder
+				if err := c.Outcome.Trace.WriteTimelineCSV(&b); err != nil {
+					fatal(err)
+				}
+				path := filepath.Join(*out, fmt.Sprintf("fig6-%c-job%s.csv", 'a'+i, c.Job))
+				if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	if selected("table3") {
+		step("Table 3: training vs heavier actual runs")
+		t3, err := experiments.TrainingVsActual(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table3", t3.Render())
+	}
+	if selected("fig7") {
+		step("Figure 7: deadline changes")
+		f7, err := experiments.DeadlineChanges(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig7", f7.Render())
+	}
+	if selected("fig8") {
+		step("Figure 8: prediction accuracy")
+		f8, err := experiments.PredictionAccuracy(env, nil, fig8Runs)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig8", f8.Render())
+	}
+	if selected("fig9") {
+		step("Figure 9: indicator traces")
+		f9, err := experiments.IndicatorTraces(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig9", f9.Render())
+	}
+	if selected("fig10") {
+		step("Figure 10: indicator comparison")
+		f10, err := experiments.IndicatorComparison(env, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig10", f10.Render())
+	}
+	if selected("fig11") {
+		step("Figure 11: sensitivity analysis")
+		f11, err := experiments.Sensitivity(env, nil, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig11", f11.Render())
+	}
+	if selected("fig12") {
+		step("Figure 12: slack sweep")
+		f12, err := experiments.SlackSweep(env, nil, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig12", f12.Render())
+	}
+	if selected("ext1") {
+		step("Extension E1: online simulation vs precomputed table")
+		e1, err := experiments.OnlineVsTable(env, nil, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ext1", e1.Render())
+	}
+	if selected("ext2") {
+		step("Extension E2: admission control")
+		e2, err := experiments.AdmissionControl(env, 8)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ext2", e2.Render())
+	}
+	if selected("fig13") {
+		step("Figure 13: hysteresis sweep")
+		f13, err := experiments.HysteresisSweep(env, nil, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig13", f13.Render())
+	}
+}
+
+var start = time.Now()
+
+func step(msg string) {
+	fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), msg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command scopec compiles a SCOPE-like script (see internal/scope for the
+// language) into an execution plan and prints its structure — optionally as
+// Graphviz DOT.
+//
+// Usage:
+//
+//	scopec [-dot] [file.scope]
+//
+// With no file argument the script is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/jockeysim/jockey/internal/scope"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the plan summary")
+	flag.Parse()
+
+	var (
+		src []byte
+		err error
+	)
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: scopec [-dot] [file.scope]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	job, err := scope.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(job.DOT())
+		return
+	}
+	fmt.Printf("%v\n\n", job)
+	fmt.Println("stages (topological order):")
+	for _, s := range job.TopoOrder() {
+		st := job.Stages[s]
+		kind := "        "
+		if job.IsBarrier(s) {
+			kind = "barrier "
+		}
+		fmt.Printf("  %s%-16s %6d tasks", kind, st.Name, st.Tasks)
+		if st.InputGB > 0 {
+			fmt.Printf("  %8.1f GB", st.InputGB)
+		}
+		fmt.Println()
+		for _, e := range job.Inputs(s) {
+			fmt.Printf("           <- %s (%v)\n", job.Stages[e.From].Name, e.Kind)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scopec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package jockey_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+// ExampleOracle shows the theoretical-minimum allocation used as the
+// cluster-impact baseline throughout the paper's evaluation.
+func ExampleOracle() {
+	totalWork := 10 * time.Hour
+	deadline := time.Hour
+	fmt.Println(jockey.Oracle(totalWork, deadline), "tokens")
+	// Output: 10 tokens
+}
+
+// ExampleParseUtility builds the paper's standard deadline curve from text.
+func ExampleParseUtility() {
+	u, err := jockey.ParseUtility("deadline 60m")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(u.Utility(30 * time.Minute))
+	fmt.Println(u.Utility(70 * time.Minute))
+	// Output:
+	// 1
+	// -1
+}
+
+// ExampleCompileScript compiles a SCOPE-like script into an execution plan.
+func ExampleCompileScript() {
+	job, err := jockey.CompileScript(`
+JOB "wordcount";
+EXTRACT words FROM "docs" TASKS 50;
+REDUCE counts FROM words ON word TASKS 10;
+OUTPUT counts TO "out";
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(job)
+	// Output: job "wordcount": 2 stages (1 barrier), 60 vertices
+}
+
+// ExampleSimulate runs the offline job simulator once.
+func ExampleSimulate() {
+	job := jockey.NewJobBuilder("tiny").Stage("only", 10).MustBuild()
+	prof := jockey.MustNewProfile(job, []jockey.StageProfile{
+		{Exec: jockey.Point{V: 6 * time.Second}},
+	})
+	tr, err := jockey.Simulate(jockey.SimConfig{Profile: prof, Alloc: 5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Completion)
+	// Output: 12s
+}

@@ -1,0 +1,124 @@
+// Admission: decide which SLO jobs fit before letting them run.
+//
+// Section 1 of the paper: "Jockey's job model can be used to check whether
+// a newly submitted job would 'fit' in the cluster – that is, that all
+// previously accepted SLO jobs would still be able to meet their deadlines
+// – before permitting it to run."
+//
+// This example reserves a 60-token budget for SLO work, then offers a
+// stream of jobs with deadlines of varying tightness. Each job's Jockey
+// model estimates the allocation it needs; the arbiter admits it only if
+// that fits in the uncommitted budget. Admitted jobs then run concurrently
+// under their own Jockey policies and must all meet their deadlines.
+//
+// Run with:
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+type offer struct {
+	name     string
+	tasks    int
+	taskMed  time.Duration
+	deadline time.Duration
+}
+
+func main() {
+	offers := []offer{
+		{"hourly-report", 200, 15 * time.Second, 20 * time.Minute},
+		{"index-refresh", 400, 20 * time.Second, 30 * time.Minute},
+		{"urgent-backfill", 300, 20 * time.Second, 12 * time.Minute}, // tight: needs many tokens
+		{"ads-rollup", 150, 10 * time.Second, 25 * time.Minute},
+		{"impossible", 100, 30 * time.Second, 20 * time.Second}, // below critical path
+	}
+
+	arbiter, err := jockey.NewArbiter(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := jockey.NewCluster(jockey.ClusterConfig{
+		Machines:        25,
+		SlotsPerMachine: 4,
+		Seed:            3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type admitted struct {
+		name   string
+		handle *jockey.JobHandle
+	}
+	var running []admitted
+	for _, o := range offers {
+		job := jockey.NewJobBuilder(o.name).
+			Stage("map", o.tasks).
+			Stage("reduce", o.tasks/10).
+			Edge("map", "reduce", jockey.AllToAll).
+			MustBuild()
+		prof := jockey.MustNewProfile(job, []jockey.StageProfile{
+			{Exec: jockey.LognormalFromMedian(o.taskMed, 3*o.taskMed)},
+			{Exec: jockey.LognormalFromMedian(2*o.taskMed, 5*o.taskMed)},
+		})
+		jk, err := jockey.New(prof, jockey.Options{MaxTokens: 60, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		need, ok, err := arbiter.TryAdmit(o.name, jk, o.deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			reason := fmt.Sprintf("needs %d tokens, only %d uncommitted", need, arbiter.Available())
+			if need == 0 {
+				reason = "deadline below the job's critical path (infeasible at any allocation)"
+			}
+			fmt.Printf("REJECT %-16s deadline %-8v — %s\n", o.name, o.deadline, reason)
+			continue
+		}
+		fmt.Printf("ADMIT  %-16s deadline %-8v — committed %2d tokens (%d/%d in use)\n",
+			o.name, o.deadline, need, arbiter.Committed(), arbiter.Budget())
+		pol, err := jk.Policy(o.deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := cl.Submit(jockey.JobConfig{
+			Profile:  prof,
+			Policy:   pol,
+			Deadline: o.deadline,
+			Tracked:  true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		running = append(running, admitted{o.name, h})
+	}
+
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	allMet := true
+	for _, a := range running {
+		r := a.handle.Result()
+		fmt.Printf("%-16s finished in %-9v (%.0f%% of deadline) met=%v\n",
+			a.name, r.Completion.Round(time.Second),
+			100*float64(r.Completion)/float64(r.Deadline), r.Met)
+		if !r.Met {
+			allMet = false
+		}
+		arbiter.Release(a.name)
+	}
+	if allMet {
+		fmt.Println("\nevery admitted job met its SLO; budget fully released:",
+			arbiter.Available(), "tokens free")
+	}
+}

@@ -1,0 +1,107 @@
+// Deadlinechange: reacting to an SLO that moves while the job runs.
+//
+// The scenario of Fig. 7 in the paper: ten minutes into a run the deadline
+// is first halved (an upstream consumer suddenly needs the output sooner),
+// then — in a second run — doubled (the consumer slipped). Jockey must meet
+// the new deadline in both cases, ramping the allocation up for the cut and
+// releasing guaranteed tokens for the extension so other SLO jobs can use
+// them.
+//
+// Run with:
+//
+//	go run ./examples/deadlinechange
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+func buildProfile() *jockey.Profile {
+	job := jockey.NewJobBuilder("nightly-model").
+		Stage("features", 300).
+		Stage("train", 40).
+		Stage("validate", 8).
+		Edge("features", "train", jockey.AllToAll).
+		Edge("train", "validate", jockey.AllToAll).
+		MustBuild()
+	return jockey.MustNewProfile(job, []jockey.StageProfile{
+		{Exec: jockey.LognormalFromMedian(25*time.Second, 70*time.Second),
+			Queue: jockey.Exponential{MeanValue: 2 * time.Second}, FailureProb: 0.01},
+		{Exec: jockey.LognormalFromMedian(60*time.Second, 2*time.Minute),
+			Queue: jockey.Exponential{MeanValue: 2 * time.Second}},
+		{Exec: jockey.LognormalFromMedian(30*time.Second, time.Minute)},
+	})
+}
+
+func runScenario(name string, factor float64) {
+	prof := buildProfile()
+	jk, err := jockey.New(prof, jockey.Options{MaxTokens: 80, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := 40 * time.Minute
+	newDeadline := time.Duration(float64(deadline) * factor)
+	pol, err := jk.Policy(deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := jockey.NewCluster(jockey.ClusterConfig{
+		Machines:        25,
+		SlotsPerMachine: 4,
+		Seed:            9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Background pressure so the allocation decisions matter: many tenants
+	// with pending work split the spare capacity thinly.
+	for i := 0; i < 8; i++ {
+		noise := jockey.NewJobBuilder(fmt.Sprintf("tenant%d", i)).Stage("batch", 2000).MustBuild()
+		nprof := jockey.MustNewProfile(noise, []jockey.StageProfile{
+			{Exec: jockey.LognormalFromMedian(25*time.Second, 80*time.Second)},
+		})
+		if _, err := cl.Submit(jockey.JobConfig{Profile: nprof, Guarantee: 2}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	h, err := cl.Submit(jockey.JobConfig{
+		Profile:  prof,
+		Policy:   pol,
+		Deadline: deadline,
+		Tracked:  true,
+		DeadlineChanges: []jockey.DeadlineChange{
+			{At: 6 * time.Minute, Deadline: newDeadline},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	r := h.Result()
+
+	fmt.Printf("--- %s: %v -> %v at t=6min ---\n", name, deadline, newDeadline)
+	var beforeMax, afterMax int
+	for _, p := range r.Trace.Timeline {
+		if p.T < 6*time.Minute {
+			if p.Granted > beforeMax {
+				beforeMax = p.Granted
+			}
+		} else if p.Granted > afterMax {
+			afterMax = p.Granted
+		}
+	}
+	fmt.Printf("max granted allocation: %d before the change, %d after\n", beforeMax, afterMax)
+	fmt.Printf("finished in %v — new deadline met: %v\n\n", r.Completion.Round(time.Second), r.Met)
+}
+
+func main() {
+	runScenario("deadline cut in half", 0.5)
+	runScenario("deadline doubled", 2.0)
+}

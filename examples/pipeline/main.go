@@ -1,0 +1,137 @@
+// Pipeline: deadlines for a chain of dependent jobs.
+//
+// The motivation of §2.5 of the paper: business results are produced by
+// pipelines of jobs, so a deadline on the final output induces deadlines on
+// every upstream job, and one late job stalls everyone downstream.
+//
+// This example runs a three-stage pipeline — ingest → enrich → report —
+// where each job starts when its predecessor finishes and the report must
+// be fresh by a global deadline. Each job gets its own Jockey policy with
+// its slice of the pipeline budget.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+type pipelineJob struct {
+	name   string
+	prof   *jockey.Profile
+	budget time.Duration // this job's share of the end-to-end deadline
+}
+
+func buildJobs() []pipelineJob {
+	ingest := jockey.NewJobBuilder("ingest").
+		Stage("extract", 150).
+		Stage("clean", 150).
+		Edge("extract", "clean", jockey.OneToOne).
+		MustBuild()
+	enrich := jockey.NewJobBuilder("enrich").
+		Stage("join", 60).
+		Stage("score", 60).
+		Edge("join", "score", jockey.OneToOne).
+		MustBuild()
+	report := jockey.NewJobBuilder("report").
+		Stage("aggregate", 30).
+		Stage("render", 4).
+		Edge("aggregate", "render", jockey.AllToAll).
+		MustBuild()
+
+	mk := func(job *jockey.Job, med, p90 time.Duration) *jockey.Profile {
+		stages := make([]jockey.StageProfile, job.NumStages())
+		for i := range stages {
+			stages[i] = jockey.StageProfile{
+				Exec:        jockey.LognormalFromMedian(med, p90),
+				Queue:       jockey.Exponential{MeanValue: 2 * time.Second},
+				FailureProb: 0.01,
+			}
+		}
+		return jockey.MustNewProfile(job, stages)
+	}
+	return []pipelineJob{
+		{name: "ingest", prof: mk(ingest, 10*time.Second, 30*time.Second), budget: 10 * time.Minute},
+		{name: "enrich", prof: mk(enrich, 15*time.Second, 45*time.Second), budget: 8 * time.Minute},
+		{name: "report", prof: mk(report, 20*time.Second, 50*time.Second), budget: 7 * time.Minute},
+	}
+}
+
+func main() {
+	jobs := buildJobs()
+	var total time.Duration
+	for _, j := range jobs {
+		total += j.budget
+	}
+	fmt.Printf("pipeline of %d jobs, end-to-end deadline %v\n\n", len(jobs), total)
+
+	cl, err := jockey.NewCluster(jockey.ClusterConfig{
+		Machines:        25,
+		SlotsPerMachine: 4,
+		MachineMTBF:     2 * time.Hour,
+		Seed:            11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Competing tenant keeping the cluster busy.
+	noise := jockey.NewJobBuilder("tenant").Stage("batch", 3000).MustBuild()
+	nprof := jockey.MustNewProfile(noise, []jockey.StageProfile{
+		{Exec: jockey.LognormalFromMedian(25*time.Second, 80*time.Second)},
+	})
+	if _, err := cl.Submit(jockey.JobConfig{Profile: nprof, Guarantee: 30}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Jobs start when their predecessor's output lands. In a real pipeline
+	// a workflow manager watches completion; here we run the cluster once
+	// per hop and submit the next job at the observed finish time.
+	start := time.Duration(0)
+	lateBy := time.Duration(0)
+	for _, pj := range jobs {
+		jk, err := jockey.New(pj.prof, jockey.Options{MaxTokens: 70, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol, err := jk.Policy(pj.budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := cl.Submit(jockey.JobConfig{
+			Profile:  pj.prof,
+			Policy:   pol,
+			Deadline: pj.budget,
+			Tracked:  true,
+			Start:    start,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cl.Run(); err != nil {
+			log.Fatal(err)
+		}
+		r := h.Result()
+		status := "on time"
+		if !r.Met {
+			status = "LATE"
+			lateBy += r.Completion - r.Deadline
+		}
+		fmt.Printf("%-8s started %6.1f min, budget %v, finished in %v — %s\n",
+			pj.name, r.Start.Minutes(), pj.budget, r.Completion.Round(time.Second), status)
+		start = r.Start + r.Completion // next hop begins when output lands
+	}
+
+	fmt.Printf("\npipeline finished at %v (budget %v)\n", start.Round(time.Second), total)
+	if start <= total {
+		fmt.Println("end-to-end SLO met: downstream consumers are unblocked")
+	} else {
+		fmt.Printf("end-to-end SLO missed by %v\n", (start - total).Round(time.Second))
+	}
+	_ = lateBy
+}

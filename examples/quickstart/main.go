@@ -1,0 +1,123 @@
+// Quickstart: give one job a latency SLO on a shared cluster.
+//
+// The program builds a small map/reduce plan, profiles it with parametric
+// distributions, trains Jockey's offline model, and runs the job on a busy
+// simulated cluster under a 12-minute deadline while three other tenants
+// compete for capacity. It prints the control loop's allocation timeline
+// and the outcome.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+func main() {
+	// 1. The plan: 120 map tasks feeding a 12-task reduce through a full
+	// shuffle (a barrier).
+	job := jockey.NewJobBuilder("wordcount").
+		Stage("map", 120).
+		Stage("reduce", 12).
+		Edge("map", "reduce", jockey.AllToAll).
+		MustBuild()
+
+	// 2. The profile: per-stage service-time distributions. A recurring
+	// production job would extract these from a recorded run with
+	// jockey.ProfileFromTrace; here we state them directly.
+	prof := jockey.MustNewProfile(job, []jockey.StageProfile{
+		{
+			Exec:        jockey.LognormalFromMedian(8*time.Second, 25*time.Second),
+			Queue:       jockey.Exponential{MeanValue: 2 * time.Second},
+			FailureProb: 0.02,
+		},
+		{
+			Exec:  jockey.LognormalFromMedian(30*time.Second, 70*time.Second),
+			Queue: jockey.Exponential{MeanValue: 2 * time.Second},
+		},
+	})
+
+	// 3. The runtime: offline simulations across the allocation grid build
+	// the C(p, a) remaining-time model.
+	jk, err := jockey.New(prof, jockey.Options{MaxTokens: 60, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deadline := 12 * time.Minute
+	if !jk.Feasible(deadline) {
+		log.Fatalf("deadline %v is below the job's critical path %v",
+			deadline, prof.CriticalPath())
+	}
+	fmt.Printf("model: worst-case latency at 10 tokens %v, at 60 tokens %v\n",
+		jk.PredictLatency(10, 1.0).Round(time.Second),
+		jk.PredictLatency(60, 1.0).Round(time.Second))
+	if need, ok := jk.RequiredAllocation(deadline); ok {
+		fmt.Printf("admission check: deadline %v needs >= %d guaranteed tokens\n", deadline, need)
+	}
+
+	// 4. A policy instance for this execution.
+	pol, err := jk.Policy(deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. A shared cluster with competing tenants.
+	cl, err := jockey.NewCluster(jockey.ClusterConfig{
+		Machines:        20,
+		SlotsPerMachine: 4,
+		MachineMTBF:     2 * time.Hour,
+		Seed:            7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tenant := jockey.NewJobBuilder(fmt.Sprintf("tenant%d", i)).
+			Stage("batch", 400).
+			MustBuild()
+		tprof := jockey.MustNewProfile(tenant, []jockey.StageProfile{
+			{Exec: jockey.LognormalFromMedian(20*time.Second, 60*time.Second)},
+		})
+		if _, err := cl.Submit(jockey.JobConfig{Profile: tprof, Guarantee: 6}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 6. Submit the SLO job under Jockey control and run.
+	h, err := cl.Submit(jockey.JobConfig{
+		Profile:  prof,
+		Policy:   pol,
+		Deadline: deadline,
+		Tracked:  true,
+		Start:    2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	r := h.Result()
+	fmt.Println("\nallocation timeline:")
+	fmt.Println("  t[min]  raw  granted  running  oracle  progress")
+	for _, p := range r.Trace.Timeline {
+		fmt.Printf("  %6.1f  %3d  %7d  %7d  %6d  %7.0f%%\n",
+			p.T.Minutes(), p.Raw, p.Granted, p.Running, p.Oracle, 100*p.Progress)
+	}
+	fmt.Printf("\ncompleted in %v (deadline %v) — SLO met: %v\n",
+		r.Completion.Round(time.Second), r.Deadline, r.Met)
+	above := 0.0
+	if r.AllocTokenSeconds > r.OracleTokenSeconds && r.AllocTokenSeconds > 0 {
+		above = 1 - r.OracleTokenSeconds/r.AllocTokenSeconds
+	}
+	fmt.Printf("spare-token tasks: %.0f%%, evictions: %d, allocation above oracle: %.0f%%\n",
+		100*r.SpareTaskFraction, r.Evictions, 100*above)
+}

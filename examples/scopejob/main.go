@@ -1,0 +1,104 @@
+// Scopejob: author a job in the SCOPE-like language and give it an SLO.
+//
+// Cosmos jobs are written in SCOPE and compiled into stage DAGs (§2.1 of
+// the paper). This example compiles a small analytics script with the
+// repository's SCOPE-like compiler, attaches per-stage statistics, prints
+// the plan (including its Graphviz rendering), and runs it under Jockey
+// control.
+//
+// Run with:
+//
+//	go run ./examples/scopejob
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jockeysim/jockey"
+)
+
+const script = `
+JOB "ad-revenue";
+
+-- raw inputs
+EXTRACT impressions FROM "impressions.tsv" TASKS 200 SIZE 120;
+EXTRACT clicks FROM "clicks.tsv" TASKS 80 SIZE 30;
+
+-- per-record cleanup pipelines (one-to-one, no barrier)
+PROCESS validImpr FROM impressions;
+PROCESS validClicks FROM clicks;
+
+-- shuffle to join clicks with impressions per ad
+JOIN matched FROM validImpr, validClicks TASKS 40;
+
+-- revenue per advertiser, then the daily rollup
+REDUCE perAdvertiser FROM matched ON advertiser TASKS 16;
+AGGREGATE daily FROM perAdvertiser;
+OUTPUT daily TO "revenue.tsv";
+`
+
+func main() {
+	job, err := jockey.CompileScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %v\n", job)
+	fmt.Printf("critical path has %d stages; barriers at:", int(job.CriticalPath(func(int) time.Duration { return 1 })))
+	for i := range job.Stages {
+		if job.IsBarrier(i) {
+			fmt.Printf(" %s", job.Stages[i].Name)
+		}
+	}
+	fmt.Println()
+
+	// Per-stage statistics: wider stages are cheap record pipelines, the
+	// joins and reductions are heavier.
+	stages := make([]jockey.StageProfile, job.NumStages())
+	for i, s := range job.Stages {
+		med := 6 * time.Second
+		if s.Tasks <= 40 {
+			med = 20 * time.Second
+		}
+		stages[i] = jockey.StageProfile{
+			Exec:        jockey.LognormalFromMedian(med, 3*med),
+			Queue:       jockey.Exponential{MeanValue: 2 * time.Second},
+			FailureProb: 0.01,
+		}
+	}
+	prof := jockey.MustNewProfile(job, stages)
+
+	jk, err := jockey.New(prof, jockey.Options{MaxTokens: 60, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := 15 * time.Minute
+	pol, err := jk.Policy(deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl, err := jockey.NewCluster(jockey.ClusterConfig{Machines: 20, SlotsPerMachine: 4, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := cl.Submit(jockey.JobConfig{
+		Profile:  prof,
+		Policy:   pol,
+		Deadline: deadline,
+		Tracked:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	r := h.Result()
+	fmt.Printf("finished in %v (deadline %v) — met: %v\n\n",
+		r.Completion.Round(time.Second), deadline, r.Met)
+
+	fmt.Println("Graphviz rendering of the plan (pipe into `dot -Tsvg`):")
+	fmt.Println(job.DOT())
+}

@@ -1,0 +1,3 @@
+module github.com/jockeysim/jockey
+
+go 1.22

@@ -1,0 +1,509 @@
+// Package cluster is a discrete-event simulator of a shared data-parallel
+// cluster in the style of Cosmos (§2.1 of the paper). It provides the
+// execution environment Jockey is evaluated in:
+//
+//   - machines × slots define total capacity; one running task uses one
+//     token (slot);
+//   - every job has a guaranteed token count; guaranteed demand is always
+//     satisfied, evicting spare-capacity tasks if necessary;
+//   - unused capacity is redistributed to jobs with pending tasks as
+//     *spare* tokens via smooth weighted round-robin (work-conserving
+//     weighted fair sharing, like the paper's cluster);
+//   - tasks started on spare tokens run at lower priority: they are evicted
+//     (losing their work) when guaranteed demand needs their slot;
+//   - machines fail and recover, killing their running tasks;
+//   - per-job control policies (package control) adjust the guaranteed
+//     token count periodically, which is exactly Jockey's actuation knob.
+//
+// Determinism: all randomness flows from the configured seed; event ties
+// break by insertion order.
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/control"
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/eventq"
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/trace"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Machines is the number of servers (default 25).
+	Machines int
+	// SlotsPerMachine is the token capacity of each server (default 4).
+	SlotsPerMachine int
+	// MachineMTBF is the mean time between machine failures across the
+	// whole cluster fleet; zero disables machine failures.
+	MachineMTBF time.Duration
+	// MachineRecovery is the outage duration distribution (default: 5min).
+	MachineRecovery stats.Distribution
+	// Seed drives all cluster randomness.
+	Seed uint64
+	// MaxSimTime aborts a run that exceeds this simulated horizon
+	// (default 10 days) — a guard against misconfigured workloads.
+	MaxSimTime time.Duration
+	// Replicas is the number of machines holding each input partition of a
+	// root (extract) stage in the distributed file system (default 3, like
+	// GFS/HDFS/Cosmos). Root tasks prefer these machines; running there
+	// co-locates storage and computation ("locality", §2.1/§3.1).
+	Replicas int
+}
+
+func (c *Config) fill() error {
+	if c.Machines == 0 {
+		c.Machines = 25
+	}
+	if c.SlotsPerMachine == 0 {
+		c.SlotsPerMachine = 4
+	}
+	if c.Machines < 1 || c.SlotsPerMachine < 1 {
+		return fmt.Errorf("cluster: need at least one machine and one slot, got %d×%d",
+			c.Machines, c.SlotsPerMachine)
+	}
+	if c.MachineRecovery == nil {
+		c.MachineRecovery = stats.Exponential{MeanValue: 5 * time.Minute}
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 240 * time.Hour
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("cluster: need at least one replica, got %d", c.Replicas)
+	}
+	return nil
+}
+
+// DeadlineChange reschedules a job's SLO mid-run (§5.2 "Adapting to changes
+// in deadlines").
+type DeadlineChange struct {
+	// At is the offset from job start at which the change takes effect.
+	At time.Duration
+	// Deadline is the new deadline; the job's utility becomes
+	// utility.Deadline(Deadline).
+	Deadline time.Duration
+}
+
+// JobConfig submits one job to the cluster.
+type JobConfig struct {
+	// Profile supplies the plan and the ground-truth distributions used to
+	// sample actual task behaviour on this cluster. Required.
+	Profile *profile.Profile
+	// Policy dynamically sets the job's guaranteed tokens. Nil means the
+	// job keeps the fixed Guarantee (typical for background jobs).
+	Policy control.Policy
+	// Guarantee is the initial (or fixed) guaranteed token count.
+	Guarantee int
+	// Weight sets the job's share of *spare* tokens relative to other jobs
+	// (the paper's weighted fair sharing: "tokens are analogous to tickets
+	// in a lottery scheduler or the weights in a weighted fair queuing
+	// regime"). Zero means 1.
+	Weight int
+	// ControlPeriod is how often the policy runs (default 1 minute).
+	ControlPeriod time.Duration
+	// Deadline is the job's SLO, used for oracle accounting and the Met
+	// result. Zero means no SLO.
+	Deadline time.Duration
+	// Start is the submission time, relative to cluster start.
+	Start time.Duration
+	// Tracked jobs keep the cluster running until they finish and get a
+	// full task-event trace. Background jobs should leave this false.
+	Tracked bool
+	// NoSpare restricts the job to its guaranteed tokens: it never receives
+	// spare capacity. Used for controlled-allocation measurement runs
+	// (§2.4's "restricted to using guaranteed capacity only").
+	NoSpare bool
+	// SpeculativeThreshold enables Mantri-style straggler mitigation (the
+	// §4.4 "aggressiveness of mitigating stragglers" knob): when a task has
+	// been executing longer than threshold × its stage's p90 service time,
+	// a duplicate copy is launched on otherwise-idle spare capacity and the
+	// first finisher wins. Zero disables speculation. Values below 1 are
+	// rejected (they would duplicate healthy tasks).
+	SpeculativeThreshold float64
+	// DeadlineChanges, if any, must be sorted ascending by At.
+	DeadlineChanges []DeadlineChange
+	// OnDecision, if set, observes every control decision.
+	OnDecision func(at time.Duration, d control.Decision)
+	// OnSample, if set, observes the job's state every SamplePeriod
+	// (default 1 minute), independent of any policy. Used by experiments
+	// that replay progress indicators offline.
+	OnSample func(at time.Duration, st model.State)
+	// SamplePeriod is the OnSample period (default 1 minute).
+	SamplePeriod time.Duration
+}
+
+// Result summarizes one job's execution.
+type Result struct {
+	Name string
+	// Start is the submission time on the cluster clock.
+	Start time.Duration
+	// Completion is the job's end-to-end latency (from Start).
+	Completion time.Duration
+	// Deadline is the job's final SLO (after any mid-run changes).
+	Deadline time.Duration
+	// Met reports whether Completion <= Deadline (true when Deadline == 0).
+	Met bool
+	// Oracle is O(T, d) computed from the job's actual total work.
+	Oracle int
+	// AllocTokenSeconds integrates the guaranteed allocation over the run.
+	AllocTokenSeconds float64
+	// OracleTokenSeconds is Oracle × Deadline, the oracle's integral.
+	OracleTokenSeconds float64
+	// UsedTokenSeconds integrates actually-running tasks over the run.
+	UsedTokenSeconds float64
+	// SpareTaskFraction is the fraction of successful task attempts that
+	// ran on spare tokens.
+	SpareTaskFraction float64
+	// Evictions counts spare tasks killed to make room for guaranteed work.
+	Evictions int
+	// Duplicates counts speculative straggler copies launched (0 unless
+	// SpeculativeThreshold was set).
+	Duplicates int
+	// LocalityFraction is the fraction of the job's successful root-stage
+	// (extract) task attempts that executed on a machine holding a replica
+	// of their input partition. 0 for jobs without root-stage tasks is
+	// impossible (every DAG has roots), but the field is 0 if nothing
+	// completed locally.
+	LocalityFraction float64
+	// Trace is the full record (only for Tracked jobs).
+	Trace *trace.JobTrace
+}
+
+// Handle refers to a submitted job.
+type Handle struct {
+	id  int
+	c   *Cluster
+	cfg JobConfig
+}
+
+// Done reports whether the job has completed.
+func (h *Handle) Done() bool { return h.c.jobs[h.id].completed }
+
+// Result returns the job's result; valid only once Done.
+func (h *Handle) Result() Result { return h.c.jobs[h.id].result }
+
+// Name returns the job's plan name.
+func (h *Handle) Name() string { return h.cfg.Profile.Job.Name }
+
+// Cluster is the simulator instance. Create with New, submit jobs, then Run.
+type Cluster struct {
+	cfg Config
+	rng *rand.Rand
+	q   eventq.Queue[event]
+	now time.Duration
+
+	machines []machine
+	jobs     []*jobRun
+	tracked  int // tracked jobs not yet completed
+
+	utilSamples  []utilSample
+	lastUtilTime time.Duration
+}
+
+type utilSample struct {
+	at       time.Duration
+	running  int
+	capacity int
+}
+
+type machine struct {
+	up    bool
+	slots int // total slots when up
+	used  int
+}
+
+// New creates an empty cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg: cfg,
+		rng: stats.NewRNG(stats.DeriveSeed(cfg.Seed, "cluster")),
+	}
+	c.machines = make([]machine, cfg.Machines)
+	for i := range c.machines {
+		c.machines[i] = machine{up: true, slots: cfg.SlotsPerMachine}
+	}
+	if cfg.MachineMTBF > 0 {
+		c.scheduleNextMachineFailure()
+	}
+	return c, nil
+}
+
+// Capacity returns the current total token capacity of up machines.
+func (c *Cluster) Capacity() int {
+	total := 0
+	for _, m := range c.machines {
+		if m.up {
+			total += m.slots
+		}
+	}
+	return total
+}
+
+// TotalCapacity returns the capacity with all machines up.
+func (c *Cluster) TotalCapacity() int {
+	return c.cfg.Machines * c.cfg.SlotsPerMachine
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// Utilization returns the time-weighted average fraction of capacity in use
+// over the run so far.
+func (c *Cluster) Utilization() float64 {
+	var busy, avail float64
+	for _, s := range c.utilSamples {
+		busy += float64(s.running) * s.at.Seconds()
+		avail += float64(s.capacity) * s.at.Seconds()
+	}
+	if avail == 0 {
+		return 0
+	}
+	return busy / avail
+}
+
+// Submit adds a job to the cluster. It may be called before Run or from the
+// future via JobConfig.Start.
+func (c *Cluster) Submit(cfg JobConfig) (*Handle, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("cluster: JobConfig.Profile is required")
+	}
+	if cfg.Guarantee < 0 {
+		return nil, fmt.Errorf("cluster: negative guarantee %d", cfg.Guarantee)
+	}
+	if cfg.Policy == nil && cfg.Guarantee == 0 {
+		return nil, fmt.Errorf("cluster: job %q has neither a policy nor a fixed guarantee",
+			cfg.Profile.Job.Name)
+	}
+	if cfg.SpeculativeThreshold != 0 && cfg.SpeculativeThreshold < 1 {
+		return nil, fmt.Errorf("cluster: speculative threshold %v must be >= 1 (or 0 to disable)",
+			cfg.SpeculativeThreshold)
+	}
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("cluster: negative weight %d", cfg.Weight)
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	if cfg.ControlPeriod <= 0 {
+		cfg.ControlPeriod = control.DefaultPeriod
+	}
+	if cfg.Start < c.now {
+		cfg.Start = c.now
+	}
+	for i := 1; i < len(cfg.DeadlineChanges); i++ {
+		if cfg.DeadlineChanges[i].At < cfg.DeadlineChanges[i-1].At {
+			return nil, fmt.Errorf("cluster: deadline changes must be sorted by time")
+		}
+	}
+	id := len(c.jobs)
+	jr := newJobRun(id, cfg, stats.DeriveSeed(c.cfg.Seed, "job", fmt.Sprint(id)))
+	c.jobs = append(c.jobs, jr)
+	if cfg.Tracked {
+		c.tracked++
+	}
+	c.q.Push(cfg.Start, event{kind: evArrival, job: id})
+	return &Handle{id: id, c: c, cfg: cfg}, nil
+}
+
+// SLODefaults returns a ready-to-use candidate allocation grid 1..max.
+func SLODefaults(max int) []int {
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// jobRun is the runtime state of one submitted job.
+type jobRun struct {
+	id  int
+	cfg JobConfig
+	p   *profile.Profile
+	job *dag.Job
+	rng *rand.Rand
+
+	arrived   bool
+	completed bool
+	start     time.Duration
+	result    Result
+
+	guarantee int
+	deadline  time.Duration
+
+	ready     []taskRef
+	readyHead int
+
+	done      [][]bool
+	doneCount []int
+	remDeps   [][]int
+	queuedAt  [][]time.Duration
+	attempts  [][]int
+	consumers [][][]taskRef
+	tasksLeft int
+
+	running map[taskKey]*runningTask
+	// dups holds at most one speculative duplicate per task (straggler
+	// mitigation); duplicates always run on spare tokens.
+	dups     map[taskKey]*runningTask
+	stageP90 []time.Duration // per stage, the service-time p90 (speculation trigger)
+
+	// allocation accounting
+	lastAllocAt time.Duration
+	allocSecs   float64
+	usedSecs    float64
+	spareDone   int
+	guarDone    int
+	evictions   int
+	duplicates  int     // speculative copies launched
+	spareCredit float64 // smoothed-weighted-round-robin deficit counter
+	rootDone    int     // successful root-stage attempts
+	localDone   int     // ... that ran on a replica machine
+
+	nextChange int // index into cfg.DeadlineChanges
+}
+
+type taskRef struct{ stage, task int }
+
+type taskKey struct{ stage, task int }
+
+type runningTask struct {
+	stage, task int
+	attempt     int
+	machine     int
+	startedAt   time.Duration // dispatch time
+	execStart   time.Duration // after init delay
+	guaranteed  bool          // current token class (reclassified each event)
+	spawnedGuar bool          // token class at dispatch, for accounting
+}
+
+func newJobRun(id int, cfg JobConfig, seed uint64) *jobRun {
+	jr := &jobRun{
+		id:        id,
+		cfg:       cfg,
+		p:         cfg.Profile,
+		job:       cfg.Profile.Job,
+		rng:       stats.NewRNG(seed),
+		guarantee: cfg.Guarantee,
+		deadline:  cfg.Deadline,
+		running:   make(map[taskKey]*runningTask),
+		dups:      make(map[taskKey]*runningTask),
+	}
+	if cfg.SpeculativeThreshold > 0 {
+		jr.stageP90 = make([]time.Duration, cfg.Profile.Job.NumStages())
+		for s := range jr.stageP90 {
+			jr.stageP90[s] = cfg.Profile.Stages[s].Exec.Quantile(0.9)
+		}
+	}
+	job := jr.job
+	n := job.NumStages()
+	jr.done = make([][]bool, n)
+	jr.doneCount = make([]int, n)
+	jr.remDeps = make([][]int, n)
+	jr.queuedAt = make([][]time.Duration, n)
+	jr.attempts = make([][]int, n)
+	jr.consumers = make([][][]taskRef, n)
+	for s := 0; s < n; s++ {
+		tasks := job.Stages[s].Tasks
+		jr.done[s] = make([]bool, tasks)
+		jr.remDeps[s] = make([]int, tasks)
+		jr.queuedAt[s] = make([]time.Duration, tasks)
+		jr.attempts[s] = make([]int, tasks)
+		jr.consumers[s] = make([][]taskRef, tasks)
+		jr.tasksLeft += tasks
+	}
+	for s := 0; s < n; s++ {
+		for _, edge := range job.Inputs(s) {
+			for task := 0; task < job.Stages[s].Tasks; task++ {
+				if edge.Kind == dag.AllToAll {
+					jr.remDeps[s][task]++
+					continue
+				}
+				lo, hi := job.DepRange(edge, task)
+				jr.remDeps[s][task] += hi - lo
+				for i := lo; i < hi; i++ {
+					jr.consumers[edge.From][i] = append(jr.consumers[edge.From][i], taskRef{s, task})
+				}
+			}
+		}
+	}
+	return jr
+}
+
+func (jr *jobRun) fracDone() []float64 {
+	out := make([]float64, jr.job.NumStages())
+	for s := range out {
+		out[s] = float64(jr.doneCount[s]) / float64(jr.job.Stages[s].Tasks)
+	}
+	return out
+}
+
+func (jr *jobRun) state(now time.Duration) model.State {
+	return model.State{Elapsed: now - jr.start, FracDone: jr.fracDone()}
+}
+
+func (jr *jobRun) readyLen() int { return len(jr.ready) - jr.readyHead }
+
+func (jr *jobRun) popReady() (taskRef, bool) {
+	if jr.readyHead >= len(jr.ready) {
+		return taskRef{}, false
+	}
+	r := jr.ready[jr.readyHead]
+	jr.readyHead++
+	if jr.readyHead > 1024 && jr.readyHead*2 > len(jr.ready) {
+		jr.ready = append(jr.ready[:0], jr.ready[jr.readyHead:]...)
+		jr.readyHead = 0
+	}
+	return r, true
+}
+
+func (jr *jobRun) markReady(now time.Duration, stage, task int) {
+	jr.queuedAt[stage][task] = now
+	jr.ready = append(jr.ready, taskRef{stage, task})
+}
+
+// guaranteedRunning counts running tasks charged to guaranteed tokens.
+func (jr *jobRun) guaranteedRunning() int {
+	n := 0
+	for _, rt := range jr.running {
+		if rt.guaranteed {
+			n++
+		}
+	}
+	return n
+}
+
+func (jr *jobRun) setGuarantee(now time.Duration, g int) {
+	if g < 0 {
+		g = 0
+	}
+	jr.accrueAlloc(now)
+	jr.guarantee = g
+}
+
+func (jr *jobRun) accrueAlloc(now time.Duration) {
+	if !jr.arrived || jr.completed {
+		return
+	}
+	dt := (now - jr.lastAllocAt).Seconds()
+	if dt > 0 {
+		jr.allocSecs += float64(jr.guarantee) * dt
+		jr.usedSecs += float64(len(jr.running)) * dt
+	}
+	jr.lastAllocAt = now
+}
+
+func (jr *jobRun) currentUtility() utility.Fn {
+	return utility.Deadline(jr.deadline)
+}

@@ -1,0 +1,781 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/trace"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evTaskEnd
+	evControlTick
+	evDeadlineChange
+	evMachineFail
+	evMachineRecover
+	evJobSample
+	evSpecTick
+)
+
+type event struct {
+	kind    evKind
+	job     int
+	stage   int
+	task    int
+	attempt int
+	failed  bool
+	dup     bool // the attempt is a speculative duplicate
+	machine int
+	change  int // index into DeadlineChanges for evDeadlineChange
+}
+
+// Run processes events until every tracked job has completed (or the event
+// queue drains, or MaxSimTime is exceeded, which returns an error).
+func (c *Cluster) Run() error {
+	for c.tracked > 0 {
+		at, ev, ok := c.q.Pop()
+		if !ok {
+			return fmt.Errorf("cluster: event queue drained with %d tracked jobs unfinished", c.tracked)
+		}
+		if at > c.cfg.MaxSimTime {
+			return fmt.Errorf("cluster: exceeded max simulated time %v with %d tracked jobs unfinished",
+				c.cfg.MaxSimTime, c.tracked)
+		}
+		c.accrueUtil(at)
+		c.now = at
+		switch ev.kind {
+		case evArrival:
+			c.handleArrival(ev.job)
+		case evTaskEnd:
+			c.handleTaskEnd(ev)
+		case evControlTick:
+			c.handleControlTick(ev.job)
+		case evDeadlineChange:
+			c.handleDeadlineChange(ev)
+		case evMachineFail:
+			c.handleMachineFail()
+		case evMachineRecover:
+			c.handleMachineRecover(ev.machine)
+		case evJobSample:
+			c.handleJobSample(ev.job)
+		case evSpecTick:
+			c.handleSpecTick(ev.job)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) accrueUtil(now time.Duration) {
+	dt := now - c.lastUtilTime
+	if dt <= 0 {
+		return
+	}
+	running := 0
+	for _, jr := range c.jobs {
+		running += len(jr.running)
+	}
+	c.utilSamples = append(c.utilSamples, utilSample{at: dt, running: running, capacity: c.Capacity()})
+	c.lastUtilTime = now
+}
+
+func (c *Cluster) handleArrival(id int) {
+	jr := c.jobs[id]
+	jr.arrived = true
+	jr.start = c.now
+	jr.lastAllocAt = c.now
+	if jr.cfg.Tracked {
+		jr.result.Trace = trace.New(jr.job.Name, jr.job.NumStages())
+	}
+	for s := 0; s < jr.job.NumStages(); s++ {
+		for task := 0; task < jr.job.Stages[s].Tasks; task++ {
+			if jr.remDeps[s][task] == 0 {
+				jr.markReady(c.now, s, task)
+			}
+		}
+	}
+	if jr.cfg.Policy != nil {
+		c.controlDecision(jr)
+		c.q.Push(c.now+jr.cfg.ControlPeriod, event{kind: evControlTick, job: id})
+	}
+	for i, dc := range jr.cfg.DeadlineChanges {
+		c.q.Push(jr.start+dc.At, event{kind: evDeadlineChange, job: id, change: i})
+	}
+	if jr.cfg.OnSample != nil {
+		if jr.cfg.SamplePeriod <= 0 {
+			jr.cfg.SamplePeriod = time.Minute
+		}
+		c.q.Push(c.now+jr.cfg.SamplePeriod, event{kind: evJobSample, job: id})
+	}
+	if jr.cfg.SpeculativeThreshold > 0 {
+		c.q.Push(c.now+specTickPeriod, event{kind: evSpecTick, job: id})
+	}
+	c.reschedule()
+}
+
+// specTickPeriod is how often speculation-enabled jobs re-check for
+// stragglers even when no other event fires (the tail of a job is exactly
+// when the event queue goes quiet).
+const specTickPeriod = 15 * time.Second
+
+func (c *Cluster) handleSpecTick(id int) {
+	jr := c.jobs[id]
+	if jr.completed {
+		return
+	}
+	c.q.Push(c.now+specTickPeriod, event{kind: evSpecTick, job: id})
+	c.reschedule()
+}
+
+func (c *Cluster) handleJobSample(id int) {
+	jr := c.jobs[id]
+	if jr.completed {
+		return
+	}
+	jr.cfg.OnSample(c.now-jr.start, jr.state(c.now))
+	c.q.Push(c.now+jr.cfg.SamplePeriod, event{kind: evJobSample, job: id})
+}
+
+func (c *Cluster) handleControlTick(id int) {
+	jr := c.jobs[id]
+	if jr.completed {
+		return
+	}
+	c.controlDecision(jr)
+	c.q.Push(c.now+jr.cfg.ControlPeriod, event{kind: evControlTick, job: id})
+	c.reschedule()
+}
+
+func (c *Cluster) controlDecision(jr *jobRun) {
+	st := jr.state(c.now)
+	d := jr.cfg.Policy.Decide(st)
+	jr.accrueAlloc(c.now)
+	jr.setGuarantee(c.now, d.Granted)
+	if jr.cfg.OnDecision != nil {
+		jr.cfg.OnDecision(c.now-jr.start, d)
+	}
+	if jr.result.Trace != nil {
+		oracle := model.Oracle(jr.p.TotalWork(), jr.deadline)
+		jr.result.Trace.AddAlloc(trace.AllocPoint{
+			T:         c.now - jr.start,
+			Raw:       d.Raw,
+			Granted:   d.Granted,
+			Running:   len(jr.running),
+			Oracle:    oracle,
+			Progress:  d.Progress,
+			Predicted: d.Predicted,
+		})
+	}
+}
+
+func (c *Cluster) handleDeadlineChange(ev event) {
+	jr := c.jobs[ev.job]
+	if jr.completed {
+		return
+	}
+	dc := jr.cfg.DeadlineChanges[ev.change]
+	jr.deadline = dc.Deadline
+	if jr.cfg.Policy != nil {
+		jr.cfg.Policy.ChangeUtility(utility.Deadline(dc.Deadline))
+		// React immediately rather than waiting for the next tick.
+		c.controlDecision(jr)
+	}
+	c.reschedule()
+}
+
+func (c *Cluster) handleTaskEnd(ev event) {
+	jr := c.jobs[ev.job]
+	key := taskKey{ev.stage, ev.task}
+	var rt *runningTask
+	var ok bool
+	if ev.dup {
+		rt, ok = jr.dups[key]
+	} else {
+		rt, ok = jr.running[key]
+	}
+	if !ok || rt.attempt != ev.attempt {
+		return // stale event: the attempt was evicted, killed, or outraced
+	}
+	jr.accrueAlloc(c.now)
+	if ev.dup {
+		delete(jr.dups, key)
+	} else {
+		delete(jr.running, key)
+	}
+	c.machines[rt.machine].used--
+	c.recordAttempt(jr, rt, c.now, ev.failed)
+	sibling, siblingDup := jr.sibling(key, ev.dup)
+	if ev.failed {
+		if sibling != nil {
+			// The other copy carries on; nothing to requeue.
+			c.reschedule()
+			return
+		}
+		jr.attempts[ev.stage][ev.task]++
+		jr.markReady(c.now, ev.stage, ev.task)
+		c.reschedule()
+		return
+	}
+	if sibling != nil {
+		// This copy won the race: cancel the loser, discarding its work.
+		c.cancelCopy(jr, key, sibling, siblingDup)
+	}
+	if rt.spawnedGuar {
+		jr.guarDone++
+	} else {
+		jr.spareDone++
+	}
+	if len(jr.job.Inputs(ev.stage)) == 0 {
+		jr.rootDone++
+		for _, mi := range c.replicaMachines(jr, ev.stage, ev.task) {
+			if mi == rt.machine {
+				jr.localDone++
+				break
+			}
+		}
+	}
+	jr.done[ev.stage][ev.task] = true
+	jr.doneCount[ev.stage]++
+	jr.tasksLeft--
+	for _, cons := range jr.consumers[ev.stage][ev.task] {
+		jr.remDeps[cons.stage][cons.task]--
+		if jr.remDeps[cons.stage][cons.task] == 0 {
+			jr.markReady(c.now, cons.stage, cons.task)
+		}
+	}
+	if jr.doneCount[ev.stage] == jr.job.Stages[ev.stage].Tasks {
+		for _, edge := range jr.job.Outputs(ev.stage) {
+			if edge.Kind != dag.AllToAll {
+				continue
+			}
+			for t := 0; t < jr.job.Stages[edge.To].Tasks; t++ {
+				jr.remDeps[edge.To][t]--
+				if jr.remDeps[edge.To][t] == 0 {
+					jr.markReady(c.now, edge.To, t)
+				}
+			}
+		}
+	}
+	if jr.tasksLeft == 0 {
+		c.completeJob(jr)
+	}
+	c.reschedule()
+}
+
+func (c *Cluster) recordAttempt(jr *jobRun, rt *runningTask, ended time.Duration, failed bool) {
+	if jr.result.Trace == nil {
+		return
+	}
+	started := rt.execStart
+	if started > ended {
+		started = ended // killed during its init delay
+	}
+	jr.result.Trace.AddTask(trace.TaskEvent{
+		Stage:      rt.stage,
+		Task:       rt.task,
+		Attempt:    rt.attempt,
+		Queued:     jr.queuedAt[rt.stage][rt.task] - jr.start,
+		Dispatched: rt.startedAt - jr.start,
+		Started:    started - jr.start,
+		Ended:      ended - jr.start,
+		Failed:     failed,
+	})
+}
+
+func (c *Cluster) completeJob(jr *jobRun) {
+	jr.accrueAlloc(c.now)
+	jr.completed = true
+	jr.setGuarantee(c.now, 0)
+	completion := c.now - jr.start
+	totalWork := jr.p.TotalWork()
+	if jr.result.Trace != nil {
+		jr.result.Trace.Completion = completion
+		totalWork = jr.result.Trace.TotalWork()
+	}
+	oracle := model.Oracle(totalWork, jr.deadline)
+	done := jr.guarDone + jr.spareDone
+	spareFrac := 0.0
+	if done > 0 {
+		spareFrac = float64(jr.spareDone) / float64(done)
+	}
+	jr.result = Result{
+		Name:               jr.job.Name,
+		Start:              jr.start,
+		Completion:         completion,
+		Deadline:           jr.deadline,
+		Met:                jr.deadline == 0 || completion <= jr.deadline,
+		Oracle:             oracle,
+		AllocTokenSeconds:  jr.allocSecs,
+		OracleTokenSeconds: float64(oracle) * jr.deadline.Seconds(),
+		UsedTokenSeconds:   jr.usedSecs,
+		SpareTaskFraction:  spareFrac,
+		Evictions:          jr.evictions,
+		Duplicates:         jr.duplicates,
+		LocalityFraction:   localityFraction(jr),
+		Trace:              jr.result.Trace,
+	}
+	if jr.cfg.Tracked {
+		c.tracked--
+	}
+}
+
+func (c *Cluster) handleMachineFail() {
+	// Pick a random up machine; if none, just schedule the next failure.
+	up := make([]int, 0, len(c.machines))
+	for i, m := range c.machines {
+		if m.up {
+			up = append(up, i)
+		}
+	}
+	if len(up) > 0 {
+		mi := up[c.rng.IntN(len(up))]
+		c.killMachine(mi)
+		rec := c.cfg.MachineRecovery.Sample(c.rng)
+		c.q.Push(c.now+rec, event{kind: evMachineRecover, machine: mi})
+	}
+	c.scheduleNextMachineFailure()
+	c.reschedule()
+}
+
+func (c *Cluster) killMachine(mi int) {
+	c.machines[mi].up = false
+	for _, jr := range c.jobs {
+		if !jr.arrived || jr.completed {
+			continue
+		}
+		var victims []*runningTask
+		for _, rt := range jr.running {
+			if rt.machine == mi {
+				victims = append(victims, rt)
+			}
+		}
+		for _, rt := range jr.dups {
+			if rt.machine == mi {
+				victims = append(victims, rt)
+			}
+		}
+		// Map iteration order is random; sort for deterministic replay.
+		sort.Slice(victims, func(i, j int) bool { return lessTask(victims[i], victims[j]) })
+		for _, rt := range victims {
+			c.evictTask(jr, rt)
+		}
+	}
+	c.machines[mi].used = 0
+}
+
+// sibling returns the other live copy of a task (the duplicate if the
+// primary just ended, or vice versa), if any.
+func (jr *jobRun) sibling(key taskKey, endedDup bool) (*runningTask, bool) {
+	if endedDup {
+		if rt, ok := jr.running[key]; ok {
+			return rt, false
+		}
+		return nil, false
+	}
+	if rt, ok := jr.dups[key]; ok {
+		return rt, true
+	}
+	return nil, false
+}
+
+// cancelCopy kills the losing copy of a speculated task: its slot frees and
+// its work is discarded, but the task is NOT requeued (the winner already
+// completed it).
+func (c *Cluster) cancelCopy(jr *jobRun, key taskKey, rt *runningTask, isDup bool) {
+	if isDup {
+		delete(jr.dups, key)
+	} else {
+		delete(jr.running, key)
+	}
+	c.machines[rt.machine].used--
+	c.recordAttempt(jr, rt, c.now, true)
+}
+
+// evictTask kills a running task attempt: its work is lost and the pending
+// end event becomes stale. The task re-queues unless another copy of it is
+// still running.
+func (c *Cluster) evictTask(jr *jobRun, rt *runningTask) {
+	jr.accrueAlloc(c.now)
+	key := taskKey{rt.stage, rt.task}
+	jr.evictions++
+	if jr.dups[key] == rt {
+		c.cancelCopy(jr, key, rt, true)
+		if _, ok := jr.running[key]; !ok {
+			// The duplicate was the only live copy (the primary had already
+			// failed or been evicted): requeue the task.
+			jr.attempts[rt.stage][rt.task]++
+			jr.markReady(c.now, rt.stage, rt.task)
+		}
+		return
+	}
+	delete(jr.running, key)
+	c.machines[rt.machine].used--
+	c.recordAttempt(jr, rt, c.now, true)
+	if _, ok := jr.dups[key]; ok {
+		// The duplicate carries on; no requeue.
+		return
+	}
+	jr.attempts[rt.stage][rt.task]++
+	jr.markReady(c.now, rt.stage, rt.task)
+}
+
+func (c *Cluster) handleMachineRecover(mi int) {
+	c.machines[mi].up = true
+	c.reschedule()
+}
+
+func (c *Cluster) scheduleNextMachineFailure() {
+	mean := c.cfg.MachineMTBF.Seconds() / float64(len(c.machines))
+	gap := time.Duration(c.rng.ExpFloat64() * mean * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Second
+	}
+	c.q.Push(c.now+gap, event{kind: evMachineFail})
+}
+
+// replicaMachines returns the machines holding the input partition of a
+// root-stage task, derived deterministically from the job and task
+// identity (the DFS placement).
+func (c *Cluster) replicaMachines(jr *jobRun, stage, task int) []int {
+	if len(jr.job.Inputs(stage)) > 0 {
+		return nil // only root stages read DFS partitions directly
+	}
+	n := len(c.machines)
+	h := stats.DeriveSeed(uint64(jr.id)<<32|uint64(stage), fmt.Sprint(task))
+	out := make([]int, 0, c.cfg.Replicas)
+	stride := 1
+	if n > 1 {
+		stride = 1 + int((h>>40)%uint64(n-1))
+	}
+	first := int(h % uint64(n))
+	for i := 0; i < c.cfg.Replicas && i < n; i++ {
+		out = append(out, (first+i*stride)%n)
+	}
+	return out
+}
+
+// freeMachineFor returns a machine with a free slot for the given task,
+// preferring machines holding the task's input replicas; -1 if the cluster
+// is full.
+func (c *Cluster) freeMachineFor(jr *jobRun, stage, task int) int {
+	for _, mi := range c.replicaMachines(jr, stage, task) {
+		m := &c.machines[mi]
+		if m.up && m.used < m.slots {
+			return mi
+		}
+	}
+	return c.freeMachine()
+}
+
+// freeMachine returns a machine with a free slot, or -1.
+func (c *Cluster) freeMachine() int {
+	for i := range c.machines {
+		m := &c.machines[i]
+		if m.up && m.used < m.slots {
+			return i
+		}
+	}
+	return -1
+}
+
+// reschedule enforces the token-sharing policy: reclassify running tasks,
+// satisfy guaranteed demand (evicting spare tasks when necessary), then
+// hand out spare capacity round-robin.
+func (c *Cluster) reschedule() {
+	c.reclassify()
+	c.dispatchGuaranteed()
+	c.dispatchSpare()
+}
+
+// reclassify marks, per job, its earliest-started running tasks as
+// guaranteed up to the job's guarantee; the remainder run on spare tokens.
+func (c *Cluster) reclassify() {
+	for _, jr := range c.jobs {
+		if !jr.arrived || jr.completed || len(jr.running) == 0 {
+			continue
+		}
+		tasks := make([]*runningTask, 0, len(jr.running))
+		for _, rt := range jr.running {
+			tasks = append(tasks, rt)
+		}
+		// Deterministic order: by start time, then position.
+		for i := 1; i < len(tasks); i++ {
+			for j := i; j > 0 && lessTask(tasks[j], tasks[j-1]); j-- {
+				tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+			}
+		}
+		for i, rt := range tasks {
+			rt.guaranteed = i < jr.guarantee
+		}
+	}
+}
+
+func lessTask(a, b *runningTask) bool {
+	if a.startedAt != b.startedAt {
+		return a.startedAt < b.startedAt
+	}
+	if a.stage != b.stage {
+		return a.stage < b.stage
+	}
+	return a.task < b.task
+}
+
+// guaranteedOrder returns jobs with tracked (SLO) jobs first, then arrival
+// order: admission control promised SLO jobs their guarantees, so they win
+// when guarantees are over-subscribed.
+func (c *Cluster) guaranteedOrder() []*jobRun {
+	out := make([]*jobRun, 0, len(c.jobs))
+	for _, jr := range c.jobs {
+		if jr.cfg.Tracked {
+			out = append(out, jr)
+		}
+	}
+	for _, jr := range c.jobs {
+		if !jr.cfg.Tracked {
+			out = append(out, jr)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) dispatchGuaranteed() {
+	for _, jr := range c.guaranteedOrder() {
+		if !jr.arrived || jr.completed {
+			continue
+		}
+		for jr.guaranteedRunning() < jr.guarantee && jr.readyLen() > 0 {
+			r, _ := jr.popReady()
+			mi := c.freeMachineFor(jr, r.stage, r.task)
+			if mi < 0 {
+				victim, vjob := c.youngestSpare()
+				if victim == nil {
+					// Every slot is running guaranteed work; put the task
+					// back for the next scheduling pass.
+					jr.markReady(c.now, r.stage, r.task)
+					return
+				}
+				mi = victim.machine
+				c.evictTask(vjob, victim)
+			}
+			c.startTask(jr, r, mi, true)
+		}
+	}
+}
+
+// youngestSpare finds the most recently started spare task in the cluster —
+// the cheapest one to evict.
+func (c *Cluster) youngestSpare() (*runningTask, *jobRun) {
+	var best *runningTask
+	var bestJob *jobRun
+	for _, jr := range c.jobs {
+		if !jr.arrived || jr.completed {
+			continue
+		}
+		for _, rt := range jr.running {
+			if rt.guaranteed {
+				continue
+			}
+			if best == nil || lessTask(best, rt) {
+				best, bestJob = rt, jr
+			}
+		}
+		// Speculative duplicates are always spare and the cheapest victims.
+		for _, rt := range jr.dups {
+			if best == nil || lessTask(best, rt) {
+				best, bestJob = rt, jr
+			}
+		}
+	}
+	return best, bestJob
+}
+
+func (c *Cluster) dispatchSpare() {
+	if len(c.jobs) == 0 {
+		return
+	}
+	idle := 0
+	for {
+		mi := c.freeMachine()
+		if mi < 0 {
+			return
+		}
+		// Smooth weighted round-robin over jobs with pending work: each
+		// eligible job accrues credit proportional to its weight, the
+		// highest-credit job gets the slot, and its credit is charged the
+		// total weight. Over time a job receives spare slots in proportion
+		// to its weight (the cluster's weighted fair sharing).
+		var eligible []*jobRun
+		totalWeight := 0.0
+		for _, jr := range c.jobs {
+			if !jr.arrived || jr.completed || jr.cfg.NoSpare || jr.readyLen() == 0 {
+				continue
+			}
+			eligible = append(eligible, jr)
+			totalWeight += float64(jr.cfg.Weight)
+		}
+		dispatched := false
+		if len(eligible) > 0 {
+			var pick *jobRun
+			for _, jr := range eligible {
+				jr.spareCredit += float64(jr.cfg.Weight)
+				if pick == nil || jr.spareCredit > pick.spareCredit {
+					pick = jr
+				}
+			}
+			pick.spareCredit -= totalWeight
+			r, _ := pick.popReady()
+			if local := c.freeMachineFor(pick, r.stage, r.task); local >= 0 {
+				mi = local
+			}
+			c.startTask(pick, r, mi, false)
+			dispatched = true
+		}
+		if !dispatched {
+			// No fresh work anywhere: spend truly idle slots on speculative
+			// duplicates of straggling tasks.
+			if !c.dispatchDuplicate(mi) {
+				return
+			}
+			continue
+		}
+		idle++
+		if idle > 1<<20 {
+			panic("cluster: spare dispatch runaway")
+		}
+	}
+}
+
+// dispatchDuplicate launches a speculative copy of the most-overdue
+// straggler (across speculation-enabled jobs) on the given machine. It
+// returns false if no task qualifies.
+func (c *Cluster) dispatchDuplicate(mi int) bool {
+	var worst *runningTask
+	var worstJob *jobRun
+	var worstRatio float64
+	for _, jr := range c.jobs {
+		th := jr.cfg.SpeculativeThreshold
+		if th <= 0 || !jr.arrived || jr.completed {
+			continue
+		}
+		for key, rt := range jr.running {
+			if _, dup := jr.dups[key]; dup {
+				continue // already speculated
+			}
+			p90 := jr.stageP90[rt.stage]
+			if p90 <= 0 {
+				continue
+			}
+			elapsed := c.now - rt.execStart
+			ratio := float64(elapsed) / float64(p90)
+			if ratio < th {
+				continue
+			}
+			// Deterministic despite map iteration: strictly-better ratio
+			// wins; exact ties resolve by task identity.
+			if worst == nil || ratio > worstRatio ||
+				(ratio == worstRatio && lessTask(rt, worst)) {
+				worst, worstJob, worstRatio = rt, jr, ratio
+			}
+		}
+	}
+	if worst == nil {
+		return false
+	}
+	c.startDuplicate(worstJob, worst, mi)
+	return true
+}
+
+func (c *Cluster) startDuplicate(jr *jobRun, orig *runningTask, machine int) {
+	jr.accrueAlloc(c.now)
+	sp := &jr.p.Stages[orig.stage]
+	initDelay := sp.Queue.Sample(jr.rng)
+	exec := sp.Exec.Sample(jr.rng)
+	if exec <= 0 {
+		exec = time.Millisecond
+	}
+	fails := sp.FailureProb > 0 && jr.rng.Float64() < sp.FailureProb
+	if fails {
+		exec = time.Duration(float64(exec) * jr.rng.Float64())
+		if exec <= 0 {
+			exec = time.Millisecond
+		}
+	}
+	rt := &runningTask{
+		stage:     orig.stage,
+		task:      orig.task,
+		attempt:   orig.attempt,
+		machine:   machine,
+		startedAt: c.now,
+		execStart: c.now + initDelay,
+		// duplicates are always spare-class
+	}
+	jr.dups[taskKey{orig.stage, orig.task}] = rt
+	jr.duplicates++
+	c.machines[machine].used++
+	c.q.Push(c.now+initDelay+exec, event{
+		kind:    evTaskEnd,
+		job:     jr.id,
+		stage:   orig.stage,
+		task:    orig.task,
+		attempt: rt.attempt,
+		failed:  fails,
+		dup:     true,
+	})
+}
+
+func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool) {
+	jr.accrueAlloc(c.now)
+	sp := &jr.p.Stages[r.stage]
+	initDelay := sp.Queue.Sample(jr.rng)
+	exec := sp.Exec.Sample(jr.rng)
+	if exec <= 0 {
+		exec = time.Millisecond
+	}
+	fails := false
+	if sp.FailureProb > 0 && jr.attempts[r.stage][r.task] < maxClusterAttempts-1 {
+		fails = jr.rng.Float64() < sp.FailureProb
+	}
+	if fails {
+		exec = time.Duration(float64(exec) * jr.rng.Float64())
+		if exec <= 0 {
+			exec = time.Millisecond
+		}
+	}
+	rt := &runningTask{
+		stage:       r.stage,
+		task:        r.task,
+		attempt:     jr.attempts[r.stage][r.task],
+		machine:     machine,
+		startedAt:   c.now,
+		execStart:   c.now + initDelay,
+		guaranteed:  guaranteed,
+		spawnedGuar: guaranteed,
+	}
+	jr.running[taskKey{r.stage, r.task}] = rt
+	c.machines[machine].used++
+	c.q.Push(c.now+initDelay+exec, event{
+		kind:    evTaskEnd,
+		job:     jr.id,
+		stage:   r.stage,
+		task:    r.task,
+		attempt: rt.attempt,
+		failed:  fails,
+	})
+}
+
+func localityFraction(jr *jobRun) float64 {
+	if jr.rootDone == 0 {
+		return 0
+	}
+	return float64(jr.localDone) / float64(jr.rootDone)
+}
+
+// maxClusterAttempts bounds re-execution of a failing task.
+const maxClusterAttempts = 30

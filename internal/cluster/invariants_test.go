@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// TestConservationProperty checks the fundamental bookkeeping invariants of
+// the cluster under randomized contention, failures and evictions:
+//   - every task of a tracked job completes exactly once (one successful
+//     attempt per task);
+//   - attempts of the same task are strictly ordered and never overlap;
+//   - barrier semantics hold (no consumer starts before the producer stage
+//     finishes).
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64, rawTasks uint8, rawG uint8) bool {
+		mapTasks := 10 + int(rawTasks)%60
+		guarantee := 1 + int(rawG)%10
+		job := dag.NewBuilder("prop").
+			Stage("map", mapTasks).
+			Stage("reduce", 1+mapTasks/8).
+			Edge("map", "reduce", dag.AllToAll).
+			MustBuild()
+		p := profile.MustNew(job, []profile.StageProfile{
+			{Exec: stats.LognormalFromMedian(4*time.Second, 12*time.Second),
+				Queue: stats.Exponential{MeanValue: time.Second}, FailureProb: 0.08},
+			{Exec: stats.LognormalFromMedian(8*time.Second, 20*time.Second)},
+		})
+		c, err := New(Config{
+			Machines:        6,
+			SlotsPerMachine: 3,
+			MachineMTBF:     4 * time.Minute, // aggressive failure injection
+			MachineRecovery: stats.Point{V: time.Minute},
+			Seed:            seed,
+		})
+		if err != nil {
+			return false
+		}
+		bg := profile.MustNew(dag.NewBuilder("bg").Stage("work", 100).MustBuild(),
+			[]profile.StageProfile{{Exec: stats.Point{V: 20 * time.Second}}})
+		if _, err := c.Submit(JobConfig{Profile: bg, Guarantee: 2}); err != nil {
+			return false
+		}
+		h, err := c.Submit(JobConfig{Profile: p, Guarantee: guarantee,
+			Deadline: time.Hour, Tracked: true, Start: 30 * time.Second})
+		if err != nil {
+			return false
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		tr := h.Result().Trace
+
+		// One success per task.
+		succ := map[[2]int]int{}
+		for _, e := range tr.Events {
+			if !e.Failed {
+				succ[[2]int{e.Stage, e.Task}]++
+			}
+		}
+		if len(succ) != job.TotalTasks() {
+			return false
+		}
+		for _, n := range succ {
+			if n != 1 {
+				return false
+			}
+		}
+		// Attempts ordered, non-overlapping, with sane timestamps.
+		lastEnd := map[[2]int]time.Duration{}
+		lastAttempt := map[[2]int]int{}
+		for _, e := range tr.Events {
+			key := [2]int{e.Stage, e.Task}
+			if e.Queued < 0 || e.Dispatched < e.Queued || e.Started < e.Dispatched || e.Ended < e.Started {
+				return false
+			}
+			if prev, ok := lastEnd[key]; ok {
+				if e.Started < prev || e.Attempt <= lastAttempt[key] {
+					return false
+				}
+			}
+			lastEnd[key] = e.Ended
+			lastAttempt[key] = e.Attempt
+		}
+		// Barrier: no reduce attempt starts before the map stage completes.
+		var mapDone time.Duration
+		mapSucc := 0
+		for _, e := range tr.Events {
+			if e.Stage == 0 && !e.Failed {
+				mapSucc++
+				if e.Ended > mapDone && mapSucc <= job.Stages[0].Tasks {
+					mapDone = e.Ended
+				}
+			}
+		}
+		for _, e := range tr.Events {
+			if e.Stage == 1 && e.Dispatched < mapDone {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoSpareNeverExceedsGuarantee(t *testing.T) {
+	// A NoSpare job alone on an idle cluster must never run more tasks than
+	// its guarantee.
+	job := dag.NewBuilder("cap").Stage("work", 40).MustBuild()
+	p := profile.MustNew(job, []profile.StageProfile{
+		{Exec: stats.Point{V: 10 * time.Second}},
+	})
+	c, _ := New(Config{Machines: 10, SlotsPerMachine: 4, Seed: 1})
+	var maxRunning int
+	h, err := c.Submit(JobConfig{
+		Profile: p, Guarantee: 6, Tracked: true, NoSpare: true,
+		SamplePeriod: time.Second,
+		OnSample: func(_ time.Duration, st model.State) {
+			// running count is not in State; use the trace afterwards.
+			_ = st
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Result().Trace.MaxParallelism(); got > 6 {
+		t.Errorf("NoSpare job ran %d tasks concurrently, guarantee 6", got)
+	}
+	// 40 tasks / 6 tokens = 7 waves of 10s.
+	if got := h.Result().Completion; got != 70*time.Second {
+		t.Errorf("completion = %v, want 70s", got)
+	}
+	_ = maxRunning
+}
+
+func TestOnSampleHook(t *testing.T) {
+	job := dag.NewBuilder("s").Stage("work", 20).MustBuild()
+	p := profile.MustNew(job, []profile.StageProfile{
+		{Exec: stats.Point{V: 10 * time.Second}},
+	})
+	c, _ := New(Config{Machines: 5, SlotsPerMachine: 2, Seed: 1})
+	var samples []model.State
+	var times []time.Duration
+	_, err := c.Submit(JobConfig{
+		Profile: p, Guarantee: 5, Tracked: true,
+		SamplePeriod: 15 * time.Second,
+		OnSample: func(at time.Duration, st model.State) {
+			times = append(times, at)
+			samples = append(samples, st)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, at := range times {
+		if want := time.Duration(i+1) * 15 * time.Second; at != want {
+			t.Errorf("sample %d at %v, want %v", i, at, want)
+		}
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].FracDone[0] < samples[i-1].FracDone[0] {
+			t.Error("progress decreased")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// stragglerProfile: most tasks take 10s but the service distribution has a
+// rare enormous mode, so some tasks straggle for minutes.
+func stragglerProfile(t testing.TB, tasks int) *profile.Profile {
+	t.Helper()
+	job := dag.NewBuilder("strag").Stage("work", tasks).MustBuild()
+	// Mixture via lognormal with heavy sigma, truncated at 10 minutes.
+	return profile.MustNew(job, []profile.StageProfile{
+		{Exec: stats.Truncated{
+			Base: stats.Lognormal{Mu: 2.3, Sigma: 1.6}, // median 10s, wild tail
+			Max:  10 * time.Minute,
+		}},
+	})
+}
+
+func TestSubmitRejectsBadSpeculativeThreshold(t *testing.T) {
+	c, _ := New(Config{})
+	p := stragglerProfile(t, 4)
+	if _, err := c.Submit(JobConfig{Profile: p, Guarantee: 2, SpeculativeThreshold: 0.5}); err == nil {
+		t.Error("threshold < 1 must fail")
+	}
+}
+
+func TestSpeculationLaunchesDuplicatesAndCompletes(t *testing.T) {
+	run := func(threshold float64) Result {
+		c, _ := New(Config{Machines: 10, SlotsPerMachine: 2, Seed: 42})
+		p := stragglerProfile(t, 60)
+		h, err := c.Submit(JobConfig{
+			Profile:              p,
+			Guarantee:            10,
+			Deadline:             2 * time.Hour,
+			Tracked:              true,
+			SpeculativeThreshold: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return h.Result()
+	}
+	plain := run(0)
+	spec := run(2.0)
+	if plain.Duplicates != 0 {
+		t.Errorf("speculation disabled but %d duplicates launched", plain.Duplicates)
+	}
+	if spec.Duplicates == 0 {
+		t.Fatal("no duplicates launched despite stragglers")
+	}
+	// Every task still completes exactly once.
+	succ := map[int]int{}
+	for _, e := range spec.Trace.Events {
+		if !e.Failed {
+			succ[e.Task]++
+		}
+	}
+	if len(succ) != 60 {
+		t.Fatalf("only %d tasks completed", len(succ))
+	}
+	for task, n := range succ {
+		if n != 1 {
+			t.Errorf("task %d completed %d times", task, n)
+		}
+	}
+	// Straggler mitigation should shorten the straggler-bound tail.
+	if spec.Completion >= plain.Completion {
+		t.Errorf("speculation did not help: %v vs %v", spec.Completion, plain.Completion)
+	}
+}
+
+func TestSpeculationSurvivesMachineFailures(t *testing.T) {
+	c, _ := New(Config{
+		Machines:        6,
+		SlotsPerMachine: 2,
+		MachineMTBF:     3 * time.Minute,
+		MachineRecovery: stats.Point{V: time.Minute},
+		Seed:            7,
+	})
+	p := stragglerProfile(t, 40)
+	h, err := c.Submit(JobConfig{
+		Profile:              p,
+		Guarantee:            6,
+		Deadline:             3 * time.Hour,
+		Tracked:              true,
+		SpeculativeThreshold: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := h.Result()
+	succ := 0
+	for _, e := range r.Trace.Events {
+		if !e.Failed {
+			succ++
+		}
+	}
+	if succ != 40 {
+		t.Errorf("completions = %d, want 40 (every task exactly once despite failures+speculation)", succ)
+	}
+}
+
+func TestSpeculationDeterministic(t *testing.T) {
+	run := func() (time.Duration, int) {
+		c, _ := New(Config{Machines: 8, SlotsPerMachine: 2,
+			MachineMTBF: 10 * time.Minute, Seed: 9})
+		p := stragglerProfile(t, 50)
+		h, _ := c.Submit(JobConfig{Profile: p, Guarantee: 8, Deadline: 2 * time.Hour,
+			Tracked: true, SpeculativeThreshold: 2})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return h.Result().Completion, h.Result().Duplicates
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 || d1 != d2 {
+		t.Errorf("replay diverged: %v/%d vs %v/%d", c1, d1, c2, d2)
+	}
+}
+
+func TestWeightedSpareSharing(t *testing.T) {
+	// Two identical jobs with weights 1 and 3 contend for spare capacity on
+	// a saturated cluster: the heavy job should complete ~3x faster.
+	mk := func(name string, tasks int) *profile.Profile {
+		job := dag.NewBuilder(name).Stage("work", tasks).MustBuild()
+		return profile.MustNew(job, []profile.StageProfile{
+			{Exec: stats.Point{V: 10 * time.Second}},
+		})
+	}
+	c, _ := New(Config{Machines: 4, SlotsPerMachine: 2, Seed: 1})
+	light, err := c.Submit(JobConfig{Profile: mk("light", 200), Guarantee: 1, Weight: 1, Tracked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := c.Submit(JobConfig{Profile: mk("heavy", 200), Guarantee: 1, Weight: 3, Tracked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// While both jobs are pending, the heavy one should accumulate roughly
+	// three times the completions. Compare completions at the moment the
+	// first job finishes.
+	first := light.Result().Completion + light.Result().Start
+	if h := heavy.Result().Completion + heavy.Result().Start; h < first {
+		first = h
+	}
+	count := func(r Result) int {
+		n := 0
+		for _, e := range r.Trace.Events {
+			if !e.Failed && e.Ended <= first-light.Result().Start {
+				n++
+			}
+		}
+		return n
+	}
+	lightDone, heavyDone := count(light.Result()), count(heavy.Result())
+	ratio := float64(heavyDone) / float64(lightDone)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Errorf("weighted sharing ratio = %.2f (heavy %d vs light %d), want ~3",
+			ratio, heavyDone, lightDone)
+	}
+}
+
+func TestWeightValidation(t *testing.T) {
+	c, _ := New(Config{})
+	p := stragglerProfile(t, 2)
+	if _, err := c.Submit(JobConfig{Profile: p, Guarantee: 1, Weight: -1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+}

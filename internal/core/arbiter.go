@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Arbiter implements the admission-control role sketched in §1 of the
+// paper: before an SLO job is allowed to run, its model is used to check
+// whether it "fits" — whether enough guaranteed capacity remains so that
+// every previously admitted SLO job can still meet its deadline.
+//
+// The arbiter tracks a budget of guaranteed tokens reserved for SLO jobs
+// (the cluster's total capacity minus headroom for non-SLO work). Each
+// admitted job commits its required allocation until released. The paper
+// leaves a *global utility-maximizing* arbiter as future work; this
+// implementation makes the same choice and simply rejects jobs that do not
+// fit.
+type Arbiter struct {
+	budget int
+
+	mu       sync.Mutex
+	admitted map[string]int // job id -> committed tokens
+}
+
+// NewArbiter creates an arbiter managing the given guaranteed-token budget.
+func NewArbiter(budget int) (*Arbiter, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("core: arbiter budget %d; need at least 1 token", budget)
+	}
+	return &Arbiter{budget: budget, admitted: map[string]int{}}, nil
+}
+
+// Budget returns the total guaranteed-token budget.
+func (a *Arbiter) Budget() int { return a.budget }
+
+// Committed returns the tokens currently committed to admitted jobs.
+func (a *Arbiter) Committed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.committedLocked()
+}
+
+func (a *Arbiter) committedLocked() int {
+	total := 0
+	for _, n := range a.admitted {
+		total += n
+	}
+	return total
+}
+
+// Available returns the uncommitted budget.
+func (a *Arbiter) Available() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget - a.committedLocked()
+}
+
+// TryAdmit checks whether the job (represented by its Jockey runtime) fits:
+// its model-estimated required allocation for the deadline must not exceed
+// the uncommitted budget. On success the allocation is committed under id
+// until Release. Admitting the same id twice is an error.
+func (a *Arbiter) TryAdmit(id string, jk *Jockey, deadline time.Duration) (need int, ok bool, err error) {
+	if jk == nil {
+		return 0, false, fmt.Errorf("core: TryAdmit with nil runtime")
+	}
+	need, feasible := jk.RequiredAllocation(deadline)
+	if !feasible {
+		return 0, false, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.admitted[id]; dup {
+		return 0, false, fmt.Errorf("core: job %q already admitted", id)
+	}
+	if need > a.budget-a.committedLocked() {
+		return need, false, nil
+	}
+	a.admitted[id] = need
+	return need, true, nil
+}
+
+// Release returns a job's committed tokens to the budget (idempotent).
+func (a *Arbiter) Release(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.admitted, id)
+}
+
+// Admissions returns the currently admitted job ids, sorted.
+func (a *Arbiter) Admissions() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.admitted))
+	for id := range a.admitted {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

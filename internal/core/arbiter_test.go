@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArbiterAdmission(t *testing.T) {
+	jk := newJockey(t) // 840s work, CP 90s, grid up to 20
+	a, err := NewArbiter(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Budget() != 20 || a.Available() != 20 || a.Committed() != 0 {
+		t.Fatalf("fresh arbiter state wrong: %d %d %d", a.Budget(), a.Available(), a.Committed())
+	}
+
+	// A loose deadline needs few tokens and is admitted.
+	need1, ok, err := a.TryAdmit("job1", jk, 30*time.Minute)
+	if err != nil || !ok || need1 < 1 {
+		t.Fatalf("job1: need=%d ok=%v err=%v", need1, ok, err)
+	}
+	if a.Committed() != need1 {
+		t.Errorf("committed = %d, want %d", a.Committed(), need1)
+	}
+
+	// Admit tighter jobs until the budget runs out.
+	admitted := 1
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i))
+		need, ok, err := a.TryAdmit(id, jk, 4*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if need <= a.Available() {
+				t.Errorf("rejected %q although %d <= %d available", id, need, a.Available())
+			}
+			break
+		}
+		admitted++
+	}
+	if admitted < 2 {
+		t.Errorf("expected at least two admissions, got %d", admitted)
+	}
+	if a.Committed() > a.Budget() {
+		t.Errorf("over-committed: %d > %d", a.Committed(), a.Budget())
+	}
+
+	// Releasing frees capacity.
+	before := a.Available()
+	a.Release("job1")
+	if a.Available() != before+need1 {
+		t.Errorf("release did not free tokens: %d -> %d", before, a.Available())
+	}
+	a.Release("job1") // idempotent
+}
+
+func TestArbiterRejectsInfeasibleAndDuplicates(t *testing.T) {
+	jk := newJockey(t)
+	a, _ := NewArbiter(100)
+	// A deadline below the critical path is infeasible at any allocation.
+	if need, ok, err := a.TryAdmit("x", jk, 10*time.Second); ok || err != nil || need != 0 {
+		t.Errorf("infeasible admission: need=%d ok=%v err=%v", need, ok, err)
+	}
+	if _, ok, err := a.TryAdmit("y", jk, 30*time.Minute); !ok || err != nil {
+		t.Fatalf("first admission failed: %v", err)
+	}
+	if _, _, err := a.TryAdmit("y", jk, 30*time.Minute); err == nil {
+		t.Error("duplicate id must error")
+	}
+	if got := a.Admissions(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("admissions = %v", got)
+	}
+	if _, _, err := a.TryAdmit("z", nil, time.Minute); err == nil {
+		t.Error("nil runtime must error")
+	}
+}
+
+func TestArbiterValidation(t *testing.T) {
+	if _, err := NewArbiter(0); err == nil {
+		t.Error("zero budget must fail")
+	}
+}

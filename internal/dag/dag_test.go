@@ -1,0 +1,374 @@
+package dag
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mapReduce builds the canonical two-stage plan the paper's Fig. 3 caption
+// describes ("a black circle connected to a blue triangle").
+func mapReduce(t testing.TB) *Job {
+	t.Helper()
+	j, err := NewBuilder("mapreduce").
+		StageData("map", 100, 10).
+		StageData("reduce", 10, 2).
+		Edge("map", "reduce", AllToAll).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// diamond builds extract -> (left, right) -> join.
+func diamond(t testing.TB) *Job {
+	t.Helper()
+	j, err := NewBuilder("diamond").
+		Stage("extract", 50).
+		Stage("left", 50).
+		Stage("right", 25).
+		Stage("join", 10).
+		Edge("extract", "left", OneToOne).
+		Edge("extract", "right", OneToOne).
+		Edge("left", "join", AllToAll).
+		Edge("right", "join", AllToAll).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestBuildBasics(t *testing.T) {
+	j := mapReduce(t)
+	if j.NumStages() != 2 {
+		t.Fatalf("NumStages = %d", j.NumStages())
+	}
+	if j.TotalTasks() != 110 {
+		t.Errorf("TotalTasks = %d", j.TotalTasks())
+	}
+	if got := j.TotalInputGB(); got != 12 {
+		t.Errorf("TotalInputGB = %v", got)
+	}
+	if j.StageIndex("map") != 0 || j.StageIndex("reduce") != 1 {
+		t.Error("StageIndex wrong")
+	}
+	if j.StageIndex("nope") != -1 {
+		t.Error("unknown stage should be -1")
+	}
+	if !j.IsBarrier(1) || j.IsBarrier(0) {
+		t.Error("barrier detection wrong")
+	}
+	if j.NumBarrierStages() != 1 {
+		t.Errorf("NumBarrierStages = %d", j.NumBarrierStages())
+	}
+	if s := j.String(); !strings.Contains(s, "mapreduce") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+		want string
+	}{
+		{"empty", NewBuilder("x"), "no stages"},
+		{"dup stage", NewBuilder("x").Stage("a", 1).Stage("a", 1), "duplicate stage"},
+		{"zero tasks", NewBuilder("x").Stage("a", 0), "at least 1"},
+		{"empty name", NewBuilder("x").Stage("", 1), "empty name"},
+		{"unknown from", NewBuilder("x").Stage("a", 1).Edge("b", "a", OneToOne), "unknown stage"},
+		{"unknown to", NewBuilder("x").Stage("a", 1).Edge("a", "b", OneToOne), "unknown stage"},
+		{"self edge", NewBuilder("x").Stage("a", 1).Edge("a", "a", OneToOne), "self-edge"},
+		{"dup edge", NewBuilder("x").Stage("a", 1).Stage("b", 1).
+			Edge("a", "b", OneToOne).Edge("a", "b", AllToAll), "duplicate edge"},
+		{"cycle", NewBuilder("x").Stage("a", 1).Stage("b", 1).
+			Edge("a", "b", OneToOne).Edge("b", "a", OneToOne), "cycle"},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBuilderErrorSticks(t *testing.T) {
+	b := NewBuilder("x").Stage("a", 0).Stage("b", 1).Edge("a", "b", OneToOne)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "at least 1") {
+		t.Fatalf("first error must stick, got %v", err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on invalid plan")
+		}
+	}()
+	NewBuilder("x").MustBuild()
+}
+
+func TestTopoOrder(t *testing.T) {
+	j := diamond(t)
+	pos := make(map[int]int)
+	for i, s := range j.TopoOrder() {
+		pos[s] = i
+	}
+	if len(pos) != 4 {
+		t.Fatalf("topo order has %d entries", len(pos))
+	}
+	for _, e := range j.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topo order", e)
+		}
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	j := diamond(t)
+	if r := j.Roots(); len(r) != 1 || r[0] != j.StageIndex("extract") {
+		t.Errorf("Roots = %v", r)
+	}
+	if l := j.Leaves(); len(l) != 1 || l[0] != j.StageIndex("join") {
+		t.Errorf("Leaves = %v", l)
+	}
+}
+
+func TestInputsOutputs(t *testing.T) {
+	j := diamond(t)
+	ex := j.StageIndex("extract")
+	jn := j.StageIndex("join")
+	if len(j.Outputs(ex)) != 2 || len(j.Inputs(ex)) != 0 {
+		t.Error("extract adjacency wrong")
+	}
+	if len(j.Inputs(jn)) != 2 || len(j.Outputs(jn)) != 0 {
+		t.Error("join adjacency wrong")
+	}
+}
+
+func TestDepRangeOneToOneEqual(t *testing.T) {
+	j, err := NewBuilder("x").Stage("a", 10).Stage("b", 10).Edge("a", "b", OneToOne).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := j.Edges[0]
+	for task := 0; task < 10; task++ {
+		lo, hi := j.DepRange(e, task)
+		if lo != task || hi != task+1 {
+			t.Errorf("task %d: range [%d,%d), want identity", task, lo, hi)
+		}
+	}
+}
+
+func TestDepRangeFanIn(t *testing.T) {
+	// 100 producers, 10 consumers: each consumer reads 10 producers.
+	j, err := NewBuilder("x").Stage("a", 100).Stage("b", 10).Edge("a", "b", OneToOne).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := j.Edges[0]
+	covered := make([]bool, 100)
+	for task := 0; task < 10; task++ {
+		lo, hi := j.DepRange(e, task)
+		if hi-lo != 10 {
+			t.Errorf("task %d: width %d, want 10", task, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Errorf("producer task %d not covered", i)
+		}
+	}
+}
+
+func TestDepRangeFanOut(t *testing.T) {
+	// 3 producers, 10 consumers: every consumer depends on at least one
+	// producer and ranges stay in bounds.
+	j, err := NewBuilder("x").Stage("a", 3).Stage("b", 10).Edge("a", "b", OneToOne).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := j.Edges[0]
+	for task := 0; task < 10; task++ {
+		lo, hi := j.DepRange(e, task)
+		if lo < 0 || hi > 3 || hi <= lo {
+			t.Errorf("task %d: bad range [%d,%d)", task, lo, hi)
+		}
+	}
+}
+
+func TestDepRangeAllToAll(t *testing.T) {
+	j := mapReduce(t)
+	e := j.Edges[0]
+	lo, hi := j.DepRange(e, 3)
+	if lo != 0 || hi != 100 {
+		t.Errorf("all-to-all range [%d,%d), want [0,100)", lo, hi)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	j := diamond(t)
+	cost := func(s int) time.Duration {
+		// extract=10, left=20, right=5, join=7
+		switch j.Stages[s].Name {
+		case "extract":
+			return 10 * time.Second
+		case "left":
+			return 20 * time.Second
+		case "right":
+			return 5 * time.Second
+		default:
+			return 7 * time.Second
+		}
+	}
+	if got, want := j.CriticalPath(cost), 37*time.Second; got != want {
+		t.Errorf("CriticalPath = %v, want %v", got, want)
+	}
+	lp := j.LongestPathsFrom(cost)
+	if got, want := lp[j.StageIndex("right")], 12*time.Second; got != want {
+		t.Errorf("LongestPathsFrom(right) = %v, want %v", got, want)
+	}
+	if got, want := lp[j.StageIndex("join")], 7*time.Second; got != want {
+		t.Errorf("LongestPathsFrom(join) = %v, want %v", got, want)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	j := mapReduce(t)
+	dot := j.DOT()
+	for _, want := range []string{"digraph", "triangle", "circle", `"map" -> "reduce"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRebuildAfterDeserialization(t *testing.T) {
+	orig := diamond(t)
+	// Simulate a JSON round trip: only exported fields survive.
+	clone := &Job{Name: orig.Name, Stages: append([]Stage(nil), orig.Stages...),
+		Edges: append([]Edge(nil), orig.Edges...)}
+	if err := clone.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if clone.StageIndex("join") != orig.StageIndex("join") {
+		t.Error("byName not rebuilt")
+	}
+	if len(clone.TopoOrder()) != 4 {
+		t.Error("topo not rebuilt")
+	}
+	if clone.NumBarrierStages() != orig.NumBarrierStages() {
+		t.Error("adjacency not rebuilt")
+	}
+}
+
+func TestRebuildRejectsBadGraphs(t *testing.T) {
+	bad := &Job{Name: "x", Stages: []Stage{{Name: "a", Tasks: 1}, {Name: "b", Tasks: 1}},
+		Edges: []Edge{{From: 0, To: 5, Kind: OneToOne}}}
+	if err := bad.Rebuild(); err == nil {
+		t.Error("out-of-range edge must fail")
+	}
+	cyc := &Job{Name: "x", Stages: []Stage{{Name: "a", Tasks: 1}, {Name: "b", Tasks: 1}},
+		Edges: []Edge{{From: 0, To: 1, Kind: OneToOne}, {From: 1, To: 0, Kind: OneToOne}}}
+	if err := cyc.Rebuild(); err == nil {
+		t.Error("cycle must fail")
+	}
+	dup := &Job{Name: "x", Stages: []Stage{{Name: "a", Tasks: 1}, {Name: "a", Tasks: 1}}}
+	if err := dup.Rebuild(); err == nil {
+		t.Error("duplicate names must fail")
+	}
+	selfe := &Job{Name: "x", Stages: []Stage{{Name: "a", Tasks: 1}},
+		Edges: []Edge{{From: 0, To: 0}}}
+	if err := selfe.Rebuild(); err == nil {
+		t.Error("self edge must fail")
+	}
+	zero := &Job{Name: "x", Stages: []Stage{{Name: "a", Tasks: 0}}}
+	if err := zero.Rebuild(); err == nil {
+		t.Error("zero tasks must fail")
+	}
+	if err := (&Job{Name: "x"}).Rebuild(); err == nil {
+		t.Error("no stages must fail")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if OneToOne.String() != "one-to-one" || AllToAll.String() != "all-to-all" {
+		t.Error("EdgeKind strings wrong")
+	}
+	if EdgeKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// randomLayeredJob produces a random valid layered DAG for property tests.
+func randomLayeredJob(r *rand.Rand) *Job {
+	layers := 2 + r.IntN(5)
+	b := NewBuilder("rand")
+	var names [][]string
+	for l := 0; l < layers; l++ {
+		width := 1 + r.IntN(4)
+		var layer []string
+		for w := 0; w < width; w++ {
+			name := string(rune('a'+l)) + string(rune('0'+w))
+			b.Stage(name, 1+r.IntN(200))
+			layer = append(layer, name)
+		}
+		names = append(names, layer)
+	}
+	for l := 1; l < layers; l++ {
+		for _, to := range names[l] {
+			// Each stage gets at least one input from the previous layer.
+			from := names[l-1][r.IntN(len(names[l-1]))]
+			kind := OneToOne
+			if r.IntN(3) == 0 {
+				kind = AllToAll
+			}
+			b.Edge(from, to, kind)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomJobsInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, seed))
+		j := randomLayeredJob(r)
+		// Topo order must be a permutation respecting all edges.
+		pos := make(map[int]int)
+		for i, s := range j.TopoOrder() {
+			if _, dup := pos[s]; dup {
+				return false
+			}
+			pos[s] = i
+		}
+		if len(pos) != j.NumStages() {
+			return false
+		}
+		for _, e := range j.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		// Every consumer task's dep range must be within producer bounds.
+		for _, e := range j.Edges {
+			for task := 0; task < j.Stages[e.To].Tasks; task++ {
+				lo, hi := j.DepRange(e, task)
+				if lo < 0 || hi > j.Stages[e.From].Tasks || hi <= lo {
+					return false
+				}
+			}
+		}
+		// Critical path with unit costs is between 1 and #stages.
+		cp := j.CriticalPath(func(int) time.Duration { return time.Second })
+		return cp >= time.Second && cp <= time.Duration(j.NumStages())*time.Second
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

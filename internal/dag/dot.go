@@ -1,0 +1,67 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DOT renders the job's stage graph in Graphviz format, mirroring Figure 3
+// of the paper: barrier (full-shuffle) stages are drawn as triangles, other
+// stages as circles, and node size is proportional to the square root of the
+// stage's task count.
+func (j *Job) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", j.Name)
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fixedsize=true, fontsize=8];\n")
+	for i, s := range j.Stages {
+		shape := "circle"
+		color := "black"
+		if j.IsBarrier(i) {
+			shape = "triangle"
+			color = "blue"
+		}
+		size := 0.25 + 0.1*math.Sqrt(float64(s.Tasks))
+		fmt.Fprintf(&b, "  %q [shape=%s, color=%s, width=%.2f, height=%.2f, label=%q];\n",
+			s.Name, shape, color, size, size, fmt.Sprintf("%s\\n%d", s.Name, s.Tasks))
+	}
+	for _, e := range j.Edges {
+		style := "solid"
+		if e.Kind == AllToAll {
+			style = "bold"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", j.Stages[e.From].Name, j.Stages[e.To].Name, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Rebuild recomputes the internal adjacency indices and topological order
+// from the exported Stages and Edges fields. It must be called on any Job
+// that was not produced by Builder.Build (e.g. one decoded from JSON)
+// before its graph accessors are used.
+func (j *Job) Rebuild() error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	j.byName = make(map[string]int, len(j.Stages))
+	for i, s := range j.Stages {
+		if _, dup := j.byName[s.Name]; dup {
+			return fmt.Errorf("dag: job %q: duplicate stage %q", j.Name, s.Name)
+		}
+		j.byName[s.Name] = i
+	}
+	j.inputs = make([][]Edge, len(j.Stages))
+	j.outputs = make([][]Edge, len(j.Stages))
+	for _, e := range j.Edges {
+		j.inputs[e.To] = append(j.inputs[e.To], e)
+		j.outputs[e.From] = append(j.outputs[e.From], e)
+	}
+	topo, err := j.topoSort()
+	if err != nil {
+		return err
+	}
+	j.topo = topo
+	return nil
+}

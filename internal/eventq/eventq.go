@@ -1,0 +1,71 @@
+// Package eventq provides the deterministic discrete-event priority queue
+// shared by the offline job simulator (internal/sim) and the shared-cluster
+// simulator (internal/cluster).
+//
+// Events are ordered by time; ties are broken by insertion sequence so that
+// simulations are reproducible regardless of heap internals.
+package eventq
+
+import (
+	"container/heap"
+	"time"
+)
+
+type item[T any] struct {
+	at  time.Duration
+	seq uint64
+	v   T
+}
+
+type itemHeap[T any] []item[T]
+
+func (h itemHeap[T]) Len() int { return len(h) }
+func (h itemHeap[T]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap[T]) Push(x any)   { *h = append(*h, x.(item[T])) }
+func (h *itemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue[T any] struct {
+	h   itemHeap[T]
+	seq uint64
+}
+
+// Push schedules v at the given time.
+func (q *Queue[T]) Push(at time.Duration, v T) {
+	q.seq++
+	heap.Push(&q.h, item[T]{at: at, seq: q.seq, v: v})
+}
+
+// Pop removes and returns the earliest event. ok is false if the queue is
+// empty.
+func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := heap.Pop(&q.h).(item[T])
+	return it.at, it.v, true
+}
+
+// Peek returns the earliest event time without removing it.
+func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// Len returns the number of queued events.
+func (q *Queue[T]) Len() int { return len(q.h) }

@@ -1,0 +1,92 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue[string]
+	q.Push(3*time.Second, "c")
+	q.Push(time.Second, "a")
+	q.Push(2*time.Second, "b")
+	var got []string
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(5*time.Second, i)
+	}
+	for i := 0; i < 100; i++ {
+		_, v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("tie-break broken at %d: got %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestEmptyPopPeek(t *testing.T) {
+	var q Queue[int]
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty should be !ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty should be !ok")
+	}
+	if q.Len() != 0 {
+		t.Error("Len should be 0")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(9*time.Second, 1)
+	q.Push(4*time.Second, 2)
+	at, ok := q.Peek()
+	if !ok || at != 4*time.Second {
+		t.Fatalf("Peek = %v, %v", at, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestPopsAreMonotoneProperty(t *testing.T) {
+	f := func(times []int16) bool {
+		var q Queue[int]
+		for i, ms := range times {
+			d := time.Duration(ms)
+			if d < 0 {
+				d = -d
+			}
+			q.Push(d*time.Millisecond, i)
+		}
+		var last time.Duration = -1
+		for {
+			at, _, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if at < last {
+				return false
+			}
+			last = at
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig3 holds the Graphviz renderings of the seven evaluation jobs' stage
+// graphs.
+type Fig3 struct {
+	// DOT maps job name to its Graphviz source (triangles = barrier
+	// stages, node size ∝ √tasks — the same visual convention as the
+	// paper's Fig. 3).
+	DOT map[string]string
+	// Summary rows: job, stages, barriers, vertices, edges, depth.
+	Rows [][]string
+}
+
+// StageGraphs renders the DAG of each job A–G.
+func StageGraphs(env *Env) (*Fig3, error) {
+	f := &Fig3{DOT: map[string]string{}}
+	for _, job := range DefaultJobs {
+		p, err := env.Ground(job)
+		if err != nil {
+			return nil, err
+		}
+		f.DOT[job] = p.Job.DOT()
+		// Depth: longest stage path with unit cost per stage.
+		depth := int(p.Job.CriticalPath(func(int) time.Duration { return 1 }))
+		f.Rows = append(f.Rows, []string{
+			job,
+			fmt.Sprint(p.Job.NumStages()),
+			fmt.Sprint(p.Job.NumBarrierStages()),
+			fmt.Sprint(p.Job.TotalTasks()),
+			fmt.Sprint(len(p.Job.Edges)),
+			fmt.Sprint(depth),
+		})
+	}
+	return f, nil
+}
+
+// Render prints a structural summary; the DOT sources are exported
+// separately by cmd/experiments.
+func (f *Fig3) Render() string {
+	return renderTable(
+		"Figure 3: stage dependency structure of the seven jobs (DOT files carry the drawings)",
+		[]string{"job", "stages", "barriers", "vertices", "edges", "depth"},
+		f.Rows)
+}

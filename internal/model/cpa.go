@@ -1,0 +1,231 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/progress"
+	"github.com/jockeysim/jockey/internal/sim"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// CPAConfig parameterizes construction of the C(p, a) table.
+type CPAConfig struct {
+	// Allocs is the grid of candidate allocations to simulate. Required,
+	// ascending and positive.
+	Allocs []int
+	// RunsPerAlloc is how many simulations feed each allocation's
+	// distributions (default 10).
+	RunsPerAlloc int
+	// SampleEvery is the progress-sampling period within each simulated run
+	// (default 30s; the paper records per discrete time step).
+	SampleEvery time.Duration
+	// Buckets is the number of progress cells (default 100, i.e. 1% cells).
+	Buckets int
+	// ReservoirCap bounds the samples kept per cell (default 64).
+	ReservoirCap int
+	// Seed drives the simulations.
+	Seed uint64
+}
+
+func (c *CPAConfig) fill() error {
+	if len(c.Allocs) == 0 {
+		return fmt.Errorf("model: CPAConfig.Allocs is empty")
+	}
+	prev := 0
+	for _, a := range c.Allocs {
+		if a <= prev {
+			return fmt.Errorf("model: CPAConfig.Allocs must be ascending and positive, got %v", c.Allocs)
+		}
+		prev = a
+	}
+	if c.RunsPerAlloc <= 0 {
+		c.RunsPerAlloc = 10
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 30 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 100
+	}
+	if c.ReservoirCap <= 0 {
+		c.ReservoirCap = 64
+	}
+	return nil
+}
+
+// CPA is the precomputed table of remaining-completion-time distributions
+// C(p, a): for each allocation a in the grid and each progress bucket p, a
+// bounded sample of observed remaining times from offline simulations.
+type CPA struct {
+	indicator progress.Indicator
+	allocs    []int
+	buckets   int
+	// cells[ai][b] holds remaining-time samples for allocation index ai and
+	// progress bucket b.
+	cells [][]*stats.Reservoir
+}
+
+// BuildCPA runs the offline simulator across the allocation grid and builds
+// the C(p, a) table, using the supplied indicator to compute progress p —
+// the same indicator the control loop will use to index the table at
+// runtime.
+func BuildCPA(p *profile.Profile, ind progress.Indicator, cfg CPAConfig) (*CPA, error) {
+	if p == nil || ind == nil {
+		return nil, fmt.Errorf("model: BuildCPA requires a profile and an indicator")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &CPA{
+		indicator: ind,
+		allocs:    append([]int(nil), cfg.Allocs...),
+		buckets:   cfg.Buckets,
+		cells:     make([][]*stats.Reservoir, len(cfg.Allocs)),
+	}
+	for ai := range c.cells {
+		c.cells[ai] = make([]*stats.Reservoir, cfg.Buckets+1)
+		for b := range c.cells[ai] {
+			c.cells[ai][b] = stats.NewReservoir(cfg.ReservoirCap)
+		}
+	}
+	rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "cpa-reservoir"))
+	type sample struct {
+		t time.Duration
+		p float64
+	}
+	for ai, alloc := range c.allocs {
+		for run := 0; run < cfg.RunsPerAlloc; run++ {
+			var samples []sample
+			seed := stats.DeriveSeed(cfg.Seed, "cpa", fmt.Sprint(alloc), fmt.Sprint(run))
+			tr, err := sim.Run(sim.Config{
+				Profile:     p,
+				Alloc:       alloc,
+				Seed:        seed,
+				SampleEvery: cfg.SampleEvery,
+				OnSample: func(s sim.Snapshot) {
+					samples = append(samples, sample{t: s.Time, p: ind.Progress(s.FracDone)})
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			// t = 0 with p = 0 is always a valid observation.
+			c.cells[ai][0].Add(tr.Completion, rng)
+			for _, s := range samples {
+				remaining := tr.Completion - s.t
+				if remaining < 0 {
+					continue
+				}
+				c.cells[ai][c.bucket(s.p)].Add(remaining, rng)
+			}
+			// Completion itself: progress 1 has zero remaining time.
+			c.cells[ai][c.buckets].Add(0, rng)
+		}
+	}
+	return c, nil
+}
+
+func (c *CPA) bucket(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return c.buckets
+	}
+	return int(p * float64(c.buckets))
+}
+
+// Indicator returns the progress indicator the table was built with.
+func (c *CPA) Indicator() progress.Indicator { return c.indicator }
+
+// Allocs returns the allocation grid. The slice is owned by the CPA.
+func (c *CPA) Allocs() []int { return c.allocs }
+
+// SnapAlloc returns the grid allocation closest to a (ties go down).
+func (c *CPA) SnapAlloc(a int) int {
+	i := sort.SearchInts(c.allocs, a)
+	if i == 0 {
+		return c.allocs[0]
+	}
+	if i == len(c.allocs) {
+		return c.allocs[len(c.allocs)-1]
+	}
+	if c.allocs[i]-a < a-c.allocs[i-1] {
+		return c.allocs[i]
+	}
+	return c.allocs[i-1]
+}
+
+func (c *CPA) allocIndex(a int) int {
+	snapped := c.SnapAlloc(a)
+	for i, v := range c.allocs {
+		if v == snapped {
+			return i
+		}
+	}
+	return 0 // unreachable
+}
+
+// samplesAt returns the remaining-time samples for progress p at allocation
+// a, widening the search to neighbouring progress buckets until it finds a
+// non-empty cell. The returned slice must not be modified.
+func (c *CPA) samplesAt(p float64, a int) []time.Duration {
+	ai := c.allocIndex(a)
+	b := c.bucket(p)
+	row := c.cells[ai]
+	if vs := row[b].Values(); len(vs) > 0 {
+		return vs
+	}
+	// Widen symmetrically; prefer the lower (more pessimistic) bucket.
+	for d := 1; d <= c.buckets; d++ {
+		if b-d >= 0 {
+			if vs := row[b-d].Values(); len(vs) > 0 {
+				return vs
+			}
+		}
+		if b+d <= c.buckets {
+			if vs := row[b+d].Values(); len(vs) > 0 {
+				return vs
+			}
+		}
+	}
+	return nil
+}
+
+// Name implements Predictor.
+func (c *CPA) Name() string { return "simulator" }
+
+// Progress evaluates the table's indicator on a state.
+func (c *CPA) Progress(st State) float64 { return c.indicator.Progress(st.FracDone) }
+
+// Remaining implements Predictor: the q-quantile of C(p, a).
+func (c *CPA) Remaining(st State, a int, q float64) time.Duration {
+	samples := c.samplesAt(c.Progress(st), a)
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return stats.QuantileDurations(sorted, q)
+}
+
+// ExpectedUtility implements Predictor: the mean of U(elapsed + slack·C)
+// over the sampled remaining times. Averaging over the distribution rather
+// than a point estimate reproduces the paper's safety buffer: a heavy upper
+// tail of C(p, a) drags expected utility down near the deadline.
+func (c *CPA) ExpectedUtility(st State, a int, slack float64, u utility.Fn) float64 {
+	samples := c.samplesAt(c.Progress(st), a)
+	if len(samples) == 0 {
+		return u.Utility(st.Elapsed)
+	}
+	var sum float64
+	for _, rem := range samples {
+		t := st.Elapsed + time.Duration(float64(rem)*slack)
+		sum += u.Utility(t)
+	}
+	return sum / float64(len(samples))
+}

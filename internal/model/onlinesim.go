@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/sim"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// OnlineSim is the enhancement proposed in §4.4 of the paper: instead of
+// indexing precomputed C(p, a) distributions through a progress indicator,
+// it invokes the offline job simulator *at control time*, simulating forward
+// from the job's actual per-stage completion state. This gives more precise
+// control (no information is lost through the scalar progress index) at the
+// cost of simulation work inside the control loop — the trade-off the paper
+// describes when motivating the precomputed table.
+//
+// OnlineSim implements Predictor and can be swapped into the controller
+// wherever a CPA is used.
+type OnlineSim struct {
+	p    *profile.Profile
+	runs int
+	seed uint64
+
+	// Single-entry memo: the control loop queries the same state for every
+	// candidate allocation, and Remaining/ExpectedUtility share samples.
+	memoKey     string
+	memoSamples map[int][]time.Duration
+}
+
+// NewOnlineSim builds the online predictor; runs is the number of forward
+// simulations per (state, allocation) query (default 7).
+func NewOnlineSim(p *profile.Profile, runs int, seed uint64) (*OnlineSim, error) {
+	if p == nil {
+		return nil, fmt.Errorf("model: NewOnlineSim requires a profile")
+	}
+	if runs <= 0 {
+		runs = 7
+	}
+	return &OnlineSim{p: p, runs: runs, seed: seed, memoSamples: map[int][]time.Duration{}}, nil
+}
+
+// Name implements Predictor.
+func (o *OnlineSim) Name() string { return "online-sim" }
+
+func stateKey(st State) string {
+	// Round fractions so the memo survives tiny float noise within a tick.
+	out := make([]byte, 0, len(st.FracDone)*3)
+	for _, f := range st.FracDone {
+		v := int(f * 1000)
+		out = append(out, byte(v>>8), byte(v), ',')
+	}
+	return string(out) + fmt.Sprint(int(st.Elapsed/time.Second))
+}
+
+// samples returns remaining-time samples for the state at allocation a,
+// simulating forward from the state's per-stage completion fractions.
+func (o *OnlineSim) samples(st State, a int) []time.Duration {
+	if a < 1 {
+		a = 1
+	}
+	key := stateKey(st)
+	if key != o.memoKey {
+		o.memoKey = key
+		o.memoSamples = map[int][]time.Duration{}
+	}
+	if s, ok := o.memoSamples[a]; ok {
+		return s
+	}
+	out := make([]time.Duration, 0, o.runs)
+	for r := 0; r < o.runs; r++ {
+		seed := stats.DeriveSeed(o.seed, "online", key, fmt.Sprint(a), fmt.Sprint(r))
+		tr, err := sim.Run(sim.Config{
+			Profile:         o.p,
+			Alloc:           a,
+			Seed:            seed,
+			InitialFracDone: st.FracDone,
+		})
+		if err != nil {
+			// A stalled forward simulation means the state vector is
+			// inconsistent with the plan; treat as "no information".
+			continue
+		}
+		out = append(out, tr.Completion)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	o.memoSamples[a] = out
+	return out
+}
+
+// Remaining implements Predictor.
+func (o *OnlineSim) Remaining(st State, a int, q float64) time.Duration {
+	s := o.samples(st, a)
+	if len(s) == 0 {
+		return 0
+	}
+	return stats.QuantileDurations(s, q)
+}
+
+// ExpectedUtility implements Predictor.
+func (o *OnlineSim) ExpectedUtility(st State, a int, slack float64, u utility.Fn) float64 {
+	s := o.samples(st, a)
+	if len(s) == 0 {
+		return u.Utility(st.Elapsed)
+	}
+	var sum float64
+	for _, rem := range s {
+		sum += u.Utility(st.Elapsed + time.Duration(float64(rem)*slack))
+	}
+	return sum / float64(len(s))
+}

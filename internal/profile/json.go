@@ -1,0 +1,232 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// DistSpec is a JSON-serializable description of a stats.Distribution.
+type DistSpec struct {
+	Kind string `json:"kind"`
+	// Parametric parameters (seconds).
+	A float64 `json:"a,omitempty"` // point: value; uniform: lo; exp: mean; lognormal: mu
+	B float64 `json:"b,omitempty"` // uniform: hi; lognormal: sigma; scaled: factor; shifted: offset
+	// Samples holds the data of an empirical distribution, in seconds.
+	Samples []float64 `json:"samples,omitempty"`
+	// Base is the wrapped distribution for shifted/scaled.
+	Base *DistSpec `json:"base,omitempty"`
+}
+
+// SpecOf converts a distribution built from this repository's types into a
+// serializable spec. It returns an error for unknown implementations.
+func SpecOf(d stats.Distribution) (*DistSpec, error) {
+	switch v := d.(type) {
+	case stats.Point:
+		return &DistSpec{Kind: "point", A: v.V.Seconds()}, nil
+	case stats.Uniform:
+		return &DistSpec{Kind: "uniform", A: v.Lo.Seconds(), B: v.Hi.Seconds()}, nil
+	case stats.Exponential:
+		return &DistSpec{Kind: "exp", A: v.MeanValue.Seconds()}, nil
+	case stats.Lognormal:
+		return &DistSpec{Kind: "lognormal", A: v.Mu, B: v.Sigma}, nil
+	case stats.Shifted:
+		base, err := SpecOf(v.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &DistSpec{Kind: "shifted", B: v.Offset.Seconds(), Base: base}, nil
+	case stats.Scaled:
+		base, err := SpecOf(v.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &DistSpec{Kind: "scaled", B: v.Factor, Base: base}, nil
+	case stats.Truncated:
+		base, err := SpecOf(v.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &DistSpec{Kind: "truncated", B: v.Max.Seconds(), Base: base}, nil
+	case *stats.Empirical:
+		samples := v.Samples()
+		out := make([]float64, len(samples))
+		for i, s := range samples {
+			out[i] = s.Seconds()
+		}
+		return &DistSpec{Kind: "empirical", Samples: out}, nil
+	default:
+		return nil, fmt.Errorf("profile: cannot serialize distribution %T", d)
+	}
+}
+
+// Distribution reconstructs the distribution described by the spec.
+func (s *DistSpec) Distribution() (stats.Distribution, error) {
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	switch s.Kind {
+	case "point":
+		return stats.Point{V: sec(s.A)}, nil
+	case "uniform":
+		return stats.Uniform{Lo: sec(s.A), Hi: sec(s.B)}, nil
+	case "exp":
+		return stats.Exponential{MeanValue: sec(s.A)}, nil
+	case "lognormal":
+		return stats.Lognormal{Mu: s.A, Sigma: s.B}, nil
+	case "shifted":
+		if s.Base == nil {
+			return nil, fmt.Errorf("profile: shifted spec without base")
+		}
+		base, err := s.Base.Distribution()
+		if err != nil {
+			return nil, err
+		}
+		return stats.Shifted{Base: base, Offset: sec(s.B)}, nil
+	case "scaled":
+		if s.Base == nil {
+			return nil, fmt.Errorf("profile: scaled spec without base")
+		}
+		base, err := s.Base.Distribution()
+		if err != nil {
+			return nil, err
+		}
+		return stats.Scaled{Base: base, Factor: s.B}, nil
+	case "truncated":
+		if s.Base == nil {
+			return nil, fmt.Errorf("profile: truncated spec without base")
+		}
+		base, err := s.Base.Distribution()
+		if err != nil {
+			return nil, err
+		}
+		return stats.Truncated{Base: base, Max: sec(s.B)}, nil
+	case "empirical":
+		if len(s.Samples) == 0 {
+			return nil, fmt.Errorf("profile: empirical spec without samples")
+		}
+		ds := make([]time.Duration, len(s.Samples))
+		for i, v := range s.Samples {
+			ds[i] = sec(v)
+		}
+		return stats.NewEmpirical(ds), nil
+	default:
+		return nil, fmt.Errorf("profile: unknown distribution kind %q", s.Kind)
+	}
+}
+
+type stageJSON struct {
+	Name        string    `json:"name"`
+	Tasks       int       `json:"tasks"`
+	InputGB     float64   `json:"input_gb,omitempty"`
+	Exec        *DistSpec `json:"exec"`
+	Queue       *DistSpec `json:"queue"`
+	FailureProb float64   `json:"failure_prob,omitempty"`
+	TotalWorkS  float64   `json:"total_work_s"`
+	TotalQueueS float64   `json:"total_queue_s"`
+	LongestS    float64   `json:"longest_task_s"`
+}
+
+type edgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"`
+}
+
+type profileJSON struct {
+	Job                 string      `json:"job"`
+	Stages              []stageJSON `json:"stages"`
+	Edges               []edgeJSON  `json:"edges"`
+	TrainingCompletionS float64     `json:"training_completion_s,omitempty"`
+}
+
+// MarshalJSON serializes the profile, including the plan, so a profile file
+// is self-contained.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	out := profileJSON{
+		Job:                 p.Job.Name,
+		TrainingCompletionS: p.TrainingCompletion.Seconds(),
+	}
+	for i, s := range p.Job.Stages {
+		sp := p.Stages[i]
+		exec, err := SpecOf(sp.Exec)
+		if err != nil {
+			return nil, err
+		}
+		queue, err := SpecOf(sp.Queue)
+		if err != nil {
+			return nil, err
+		}
+		out.Stages = append(out.Stages, stageJSON{
+			Name: s.Name, Tasks: s.Tasks, InputGB: s.InputGB,
+			Exec: exec, Queue: queue, FailureProb: sp.FailureProb,
+			TotalWorkS:  sp.TotalWork.Seconds(),
+			TotalQueueS: sp.TotalQueue.Seconds(),
+			LongestS:    sp.LongestTask.Seconds(),
+		})
+	}
+	for _, e := range p.Job.Edges {
+		out.Edges = append(out.Edges, edgeJSON{
+			From: p.Job.Stages[e.From].Name,
+			To:   p.Job.Stages[e.To].Name,
+			Kind: e.Kind.String(),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reconstructs a profile produced by MarshalJSON.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var in profileJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	b := dag.NewBuilder(in.Job)
+	for _, s := range in.Stages {
+		b.StageData(s.Name, s.Tasks, s.InputGB)
+	}
+	for _, e := range in.Edges {
+		var kind dag.EdgeKind
+		switch e.Kind {
+		case "one-to-one":
+			kind = dag.OneToOne
+		case "all-to-all":
+			kind = dag.AllToAll
+		default:
+			return fmt.Errorf("profile: unknown edge kind %q", e.Kind)
+		}
+		b.Edge(e.From, e.To, kind)
+	}
+	job, err := b.Build()
+	if err != nil {
+		return err
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	stages := make([]StageProfile, len(in.Stages))
+	for i, s := range in.Stages {
+		if s.Exec == nil {
+			return fmt.Errorf("profile: stage %q missing exec distribution", s.Name)
+		}
+		exec, err := s.Exec.Distribution()
+		if err != nil {
+			return err
+		}
+		var queue stats.Distribution = stats.Point{}
+		if s.Queue != nil {
+			if queue, err = s.Queue.Distribution(); err != nil {
+				return err
+			}
+		}
+		stages[i] = StageProfile{
+			Exec: exec, Queue: queue, FailureProb: s.FailureProb,
+			TotalWork:   sec(s.TotalWorkS),
+			TotalQueue:  sec(s.TotalQueueS),
+			LongestTask: sec(s.LongestS),
+		}
+	}
+	p.Job = job
+	p.Stages = stages
+	p.TrainingCompletion = sec(in.TrainingCompletionS)
+	return nil
+}

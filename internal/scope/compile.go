@@ -1,0 +1,111 @@
+package scope
+
+import (
+	"github.com/jockeysim/jockey/internal/dag"
+)
+
+// Default task counts when a statement omits TASKS.
+const (
+	DefaultExtractTasks = 25
+	DefaultReduceFactor = 4 // reduce gets input tasks / 4, at least 1
+)
+
+// Compile parses and lowers a script to an execution plan.
+//
+// Lowering rules (mirroring how SCOPE operators map to Dryad stages):
+//
+//   - EXTRACT becomes a root stage.
+//   - PROCESS becomes a stage with a one-to-one edge from its input: its
+//     tasks pipeline as input partitions complete.
+//   - REDUCE and AGGREGATE become stages with an all-to-all edge (a full
+//     shuffle): they are barriers.
+//   - JOIN becomes a stage with an all-to-all edge from every input.
+//   - OUTPUT marks a dataset as a job output; it creates no stage. Every
+//     dataset must flow into an output (dead stages are a compile error),
+//     and every script needs at least one OUTPUT.
+func Compile(src string) (*dag.Job, error) {
+	s, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	b := dag.NewBuilder(s.jobName)
+	defined := map[string]*stmt{} // dataset -> defining statement
+	used := map[string]bool{}     // dataset consumed by another stage or output
+	outputs := 0
+
+	for i := range s.stmts {
+		st := &s.stmts[i]
+		if st.op == opOutput {
+			if defined[st.name] == nil {
+				return nil, errf(st.line, "OUTPUT of undefined dataset %q", st.name)
+			}
+			used[st.name] = true
+			outputs++
+			continue
+		}
+		if defined[st.name] != nil {
+			return nil, errf(st.line, "dataset %q defined twice", st.name)
+		}
+		for _, in := range st.inputs {
+			def := defined[in]
+			if def == nil {
+				return nil, errf(st.line, "%s %q reads undefined dataset %q (datasets must be defined before use)",
+					st.op, st.name, in)
+			}
+			used[in] = true
+		}
+		defined[st.name] = st
+		b.StageData(st.name, taskCount(st, defined), st.sizeGB)
+		for _, in := range st.inputs {
+			b.Edge(in, st.name, edgeKind(st.op))
+		}
+	}
+	if outputs == 0 {
+		return nil, errf(s.stmts[len(s.stmts)-1].line, "script has no OUTPUT statement")
+	}
+	for name, st := range defined {
+		if !used[name] {
+			return nil, errf(st.line, "dataset %q is never consumed or output (dead stage)", name)
+		}
+	}
+	return b.Build()
+}
+
+func taskCount(st *stmt, defined map[string]*stmt) int {
+	if st.tasks > 0 {
+		return st.tasks
+	}
+	switch st.op {
+	case opExtract:
+		return DefaultExtractTasks
+	case opProcess:
+		// Inherit the input's parallelism.
+		return taskCount(defined[st.inputs[0]], defined)
+	case opReduce:
+		n := taskCount(defined[st.inputs[0]], defined) / DefaultReduceFactor
+		if n < 1 {
+			n = 1
+		}
+		return n
+	case opJoin:
+		// Default to the smaller input's parallelism.
+		n := taskCount(defined[st.inputs[0]], defined)
+		for _, in := range st.inputs[1:] {
+			if m := taskCount(defined[in], defined); m < n {
+				n = m
+			}
+		}
+		return n
+	case opAggregate:
+		return 1
+	default:
+		return 1
+	}
+}
+
+func edgeKind(op opKind) dag.EdgeKind {
+	if op == opProcess {
+		return dag.OneToOne
+	}
+	return dag.AllToAll
+}

@@ -1,0 +1,191 @@
+// Package scope implements a miniature SCOPE-like job description language
+// and its compiler. SCOPE (§2.1 of the paper) is the mash-up language
+// Cosmos jobs are written in; a compiler lowers each script into an
+// execution plan graph of stages connected by dataflow edges. This package
+// plays that role for the reproduction: scripts written in the mini-language
+// compile to dag.Job plans that the simulators execute.
+//
+// The language is a sequence of ';'-terminated statements:
+//
+//	JOB "name";
+//	EXTRACT clicks FROM "clicks.tsv" TASKS 100 SIZE 40.5;
+//	PROCESS sessions FROM clicks TASKS 100;        -- one-to-one (pipelined)
+//	REDUCE perUser FROM sessions ON userId TASKS 20; -- all-to-all (barrier)
+//	JOIN joined FROM perUser, ads TASKS 10;        -- all-to-all on each input
+//	AGGREGATE totals FROM joined;                  -- all-to-all, 1 task
+//	OUTPUT totals TO "out.tsv";
+//
+// Comments run from "--" to end of line.
+package scope
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokComma
+	tokSemicolon
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokSemicolon:
+		return "';'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier name, keyword (upper-cased), or literal text
+	num  float64
+	line int
+}
+
+var keywords = map[string]bool{
+	"JOB": true, "EXTRACT": true, "PROCESS": true, "REDUCE": true,
+	"JOIN": true, "AGGREGATE": true, "OUTPUT": true,
+	"FROM": true, "TO": true, "ON": true, "TASKS": true, "SIZE": true,
+}
+
+// Error is a compilation error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("scope: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.token()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) token() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemicolon, text: ";", line: l.line}, nil
+	case c == '"':
+		return l.stringLit()
+	case unicode.IsDigit(rune(c)):
+		return l.number()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return l.word()
+	default:
+		return token{}, errf(l.line, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) stringLit() (token, error) {
+	start := l.pos + 1
+	i := start
+	for i < len(l.src) && l.src[i] != '"' {
+		if l.src[i] == '\n' {
+			return token{}, errf(l.line, "unterminated string")
+		}
+		i++
+	}
+	if i >= len(l.src) {
+		return token{}, errf(l.line, "unterminated string")
+	}
+	t := token{kind: tokString, text: l.src[start:i], line: l.line}
+	l.pos = i + 1
+	return t, nil
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	i := start
+	for i < len(l.src) && (unicode.IsDigit(rune(l.src[i])) || l.src[i] == '.') {
+		i++
+	}
+	text := l.src[start:i]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, errf(l.line, "bad number %q", text)
+	}
+	l.pos = i
+	return token{kind: tokNumber, text: text, num: v, line: l.line}, nil
+}
+
+func (l *lexer) word() (token, error) {
+	start := l.pos
+	i := start
+	for i < len(l.src) && (unicode.IsLetter(rune(l.src[i])) || unicode.IsDigit(rune(l.src[i])) || l.src[i] == '_') {
+		i++
+	}
+	text := l.src[start:i]
+	l.pos = i
+	if keywords[strings.ToUpper(text)] {
+		return token{kind: tokKeyword, text: strings.ToUpper(text), line: l.line}, nil
+	}
+	return token{kind: tokIdent, text: text, line: l.line}, nil
+}

@@ -1,0 +1,298 @@
+package scope
+
+import "fmt"
+
+// opKind is the operator of a statement.
+type opKind int
+
+const (
+	opExtract opKind = iota
+	opProcess
+	opReduce
+	opJoin
+	opAggregate
+	opOutput
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opExtract:
+		return "EXTRACT"
+	case opProcess:
+		return "PROCESS"
+	case opReduce:
+		return "REDUCE"
+	case opJoin:
+		return "JOIN"
+	case opAggregate:
+		return "AGGREGATE"
+	case opOutput:
+		return "OUTPUT"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// stmt is one parsed statement.
+type stmt struct {
+	op     opKind
+	name   string   // defined dataset (or the dataset being output)
+	inputs []string // upstream datasets (PROCESS/REDUCE/JOIN/AGGREGATE)
+	source string   // EXTRACT input file / OUTPUT target file
+	key    string   // REDUCE ... ON key
+	tasks  int      // 0 = default
+	sizeGB float64  // EXTRACT SIZE
+	line   int
+}
+
+// script is a parsed program.
+type script struct {
+	jobName string
+	stmts   []stmt
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s := &script{}
+	for p.peek().kind != tokEOF {
+		if err := p.statement(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.jobName == "" {
+		return nil, errf(1, "script must start with JOB \"name\";")
+	}
+	if len(s.stmts) == 0 {
+		return nil, errf(p.peek().line, "script has no operators")
+	}
+	return s, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.advance()
+	if t.kind != kind {
+		return t, errf(t.line, "expected %s, got %s %q", what, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokKeyword || t.text != kw {
+		return errf(t.line, "expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) statement(s *script) error {
+	t := p.advance()
+	if t.kind != tokKeyword {
+		return errf(t.line, "expected a statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "JOB":
+		name, err := p.expect(tokString, "job name string")
+		if err != nil {
+			return err
+		}
+		if s.jobName != "" {
+			return errf(t.line, "duplicate JOB statement")
+		}
+		if len(s.stmts) > 0 {
+			return errf(t.line, "JOB must be the first statement")
+		}
+		s.jobName = name.text
+		return p.terminator()
+	case "EXTRACT":
+		return p.extract(s, t.line)
+	case "PROCESS":
+		return p.unaryOp(s, opProcess, t.line)
+	case "REDUCE":
+		return p.reduce(s, t.line)
+	case "JOIN":
+		return p.join(s, t.line)
+	case "AGGREGATE":
+		return p.unaryOp(s, opAggregate, t.line)
+	case "OUTPUT":
+		return p.output(s, t.line)
+	default:
+		return errf(t.line, "unexpected keyword %s at statement start", t.text)
+	}
+}
+
+func (p *parser) terminator() error {
+	_, err := p.expect(tokSemicolon, "';'")
+	return err
+}
+
+// options parses the trailing [TASKS n] [SIZE gb] clauses in any order.
+func (p *parser) options(st *stmt, allowSize bool) error {
+	for {
+		t := p.peek()
+		if t.kind != tokKeyword {
+			break
+		}
+		switch t.text {
+		case "TASKS":
+			p.advance()
+			n, err := p.expect(tokNumber, "task count")
+			if err != nil {
+				return err
+			}
+			if n.num < 1 || n.num != float64(int(n.num)) {
+				return errf(n.line, "TASKS must be a positive integer, got %q", n.text)
+			}
+			st.tasks = int(n.num)
+		case "SIZE":
+			if !allowSize {
+				return errf(t.line, "SIZE is only valid on EXTRACT")
+			}
+			p.advance()
+			n, err := p.expect(tokNumber, "size in GB")
+			if err != nil {
+				return err
+			}
+			st.sizeGB = n.num
+		default:
+			return errf(t.line, "unexpected %s", t.text)
+		}
+	}
+	return p.terminator()
+}
+
+func (p *parser) extract(s *script, line int) error {
+	name, err := p.expect(tokIdent, "dataset name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	src, err := p.expect(tokString, "source file string")
+	if err != nil {
+		return err
+	}
+	st := stmt{op: opExtract, name: name.text, source: src.text, line: line}
+	if err := p.options(&st, true); err != nil {
+		return err
+	}
+	s.stmts = append(s.stmts, st)
+	return nil
+}
+
+func (p *parser) unaryOp(s *script, op opKind, line int) error {
+	name, err := p.expect(tokIdent, "dataset name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	in, err := p.expect(tokIdent, "input dataset")
+	if err != nil {
+		return err
+	}
+	st := stmt{op: op, name: name.text, inputs: []string{in.text}, line: line}
+	if err := p.options(&st, false); err != nil {
+		return err
+	}
+	s.stmts = append(s.stmts, st)
+	return nil
+}
+
+func (p *parser) reduce(s *script, line int) error {
+	name, err := p.expect(tokIdent, "dataset name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	in, err := p.expect(tokIdent, "input dataset")
+	if err != nil {
+		return err
+	}
+	st := stmt{op: opReduce, name: name.text, inputs: []string{in.text}, line: line}
+	if p.peek().kind == tokKeyword && p.peek().text == "ON" {
+		p.advance()
+		key, err := p.expect(tokIdent, "reduce key")
+		if err != nil {
+			return err
+		}
+		st.key = key.text
+	}
+	if err := p.options(&st, false); err != nil {
+		return err
+	}
+	s.stmts = append(s.stmts, st)
+	return nil
+}
+
+func (p *parser) join(s *script, line int) error {
+	name, err := p.expect(tokIdent, "dataset name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	st := stmt{op: opJoin, name: name.text, line: line}
+	for {
+		in, err := p.expect(tokIdent, "input dataset")
+		if err != nil {
+			return err
+		}
+		st.inputs = append(st.inputs, in.text)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if len(st.inputs) < 2 {
+		return errf(line, "JOIN needs at least two inputs")
+	}
+	if err := p.options(&st, false); err != nil {
+		return err
+	}
+	s.stmts = append(s.stmts, st)
+	return nil
+}
+
+func (p *parser) output(s *script, line int) error {
+	name, err := p.expect(tokIdent, "dataset name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return err
+	}
+	dst, err := p.expect(tokString, "target file string")
+	if err != nil {
+		return err
+	}
+	st := stmt{op: opOutput, name: name.text, source: dst.text, line: line}
+	if err := p.terminator(); err != nil {
+		return err
+	}
+	s.stmts = append(s.stmts, st)
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package sim implements Jockey's offline job simulator (§4.1 of the
+// paper): an event-based simulation of one job executing at a fixed token
+// allocation, parameterized by a job profile (per-stage task runtime and
+// initialization-latency distributions and failure probabilities).
+//
+// The simulator captures the features the paper calls out as important —
+// outliers (heavy-tailed task runtimes), barriers (all-to-all edges), task
+// failures and re-execution, and limited parallelism — while ignoring
+// aspects the paper's simulator also ignores (input-size variation,
+// duplicate-task scheduling).
+//
+// Repeatedly running the simulator across an allocation grid yields the
+// samples from which the C(p, a) remaining-time distributions are built
+// (package model).
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/eventq"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/trace"
+)
+
+// DefaultMaxAttempts bounds re-execution of a repeatedly failing task so a
+// pathological failure probability cannot hang the simulation.
+const DefaultMaxAttempts = 20
+
+// Snapshot is the observable job state handed to sampling callbacks.
+type Snapshot struct {
+	Time     time.Duration
+	FracDone []float64 // per stage, fraction of tasks complete (f_s)
+	Running  int       // tasks currently executing
+	Ready    int       // tasks ready but waiting for a token
+}
+
+// Config parameterizes one simulated execution.
+type Config struct {
+	Profile *profile.Profile
+	// Alloc is the fixed token allocation (maximum concurrently running
+	// tasks). Must be >= 1.
+	Alloc int
+	// Seed drives all randomness of this run.
+	Seed uint64
+	// DisableFailures turns off failure injection (used for the
+	// infinite-resource critical-path runs behind the minstage-inf
+	// indicator).
+	DisableFailures bool
+	// MaxAttempts bounds per-task attempts; 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// SampleEvery, if positive, invokes OnSample at this period during the
+	// run (the paper samples per minute).
+	SampleEvery time.Duration
+	// OnSample receives periodic snapshots. Ignored if SampleEvery <= 0.
+	OnSample func(Snapshot)
+	// InitialFracDone, if non-nil, starts the simulation from a partially
+	// completed job: per stage, the given fraction of tasks (rounded down)
+	// begins as already finished. This supports online re-simulation from a
+	// running job's state (§4.4's proposed enhancement). Must be parallel
+	// to the plan's stages.
+	InitialFracDone []float64
+}
+
+type taskRef struct {
+	stage, task int
+}
+
+type event struct {
+	kind   eventKind
+	stage  int
+	task   int
+	failed bool
+}
+
+type eventKind int
+
+const (
+	evTaskEnd eventKind = iota
+	evSample
+)
+
+type engine struct {
+	cfg  Config
+	p    *profile.Profile
+	job  *dag.Job
+	rng  *rand.Rand
+	q    eventq.Queue[event]
+	tr   *trace.JobTrace
+	now  time.Duration
+	maxA int
+
+	ready     []taskRef // FIFO queue of schedulable tasks
+	readyHead int
+	running   int
+	tasksLeft int
+
+	done         [][]bool
+	doneCount    []int
+	remDeps      [][]int
+	queuedAt     [][]time.Duration
+	dispatchedAt [][]time.Duration // token-grant time of the in-flight attempt
+	startedAt    [][]time.Duration // exec-start time of the in-flight attempt
+	attempts     [][]int
+
+	// consumers[s][i] lists, for each one-to-one out-edge of stage s, the
+	// consumer tasks that depend on producer task i.
+	consumers [][][]taskRef
+}
+
+// Run simulates one execution of the profiled job and returns its trace.
+func Run(cfg Config) (*trace.JobTrace, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("sim: nil profile")
+	}
+	if cfg.Alloc < 1 {
+		return nil, fmt.Errorf("sim: allocation %d; need at least 1 token", cfg.Alloc)
+	}
+	e := &engine{
+		cfg:  cfg,
+		p:    cfg.Profile,
+		job:  cfg.Profile.Job,
+		rng:  stats.NewRNG(cfg.Seed),
+		tr:   trace.New(cfg.Profile.Job.Name, cfg.Profile.Job.NumStages()),
+		maxA: cfg.MaxAttempts,
+	}
+	if e.maxA <= 0 {
+		e.maxA = DefaultMaxAttempts
+	}
+	e.init()
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.tr, nil
+}
+
+func (e *engine) init() {
+	job := e.job
+	n := job.NumStages()
+	e.done = make([][]bool, n)
+	e.doneCount = make([]int, n)
+	e.remDeps = make([][]int, n)
+	e.queuedAt = make([][]time.Duration, n)
+	e.dispatchedAt = make([][]time.Duration, n)
+	e.startedAt = make([][]time.Duration, n)
+	e.attempts = make([][]int, n)
+	e.consumers = make([][][]taskRef, n)
+	for s := 0; s < n; s++ {
+		tasks := job.Stages[s].Tasks
+		e.done[s] = make([]bool, tasks)
+		e.remDeps[s] = make([]int, tasks)
+		e.queuedAt[s] = make([]time.Duration, tasks)
+		e.dispatchedAt[s] = make([]time.Duration, tasks)
+		e.startedAt[s] = make([]time.Duration, tasks)
+		e.attempts[s] = make([]int, tasks)
+		e.consumers[s] = make([][]taskRef, tasks)
+		e.tasksLeft += tasks
+	}
+	// Dependency counts: one unit per one-to-one producer task in range,
+	// plus one unit per all-to-all input edge (satisfied when the producer
+	// stage completes).
+	for s := 0; s < n; s++ {
+		for _, edge := range job.Inputs(s) {
+			for task := 0; task < job.Stages[s].Tasks; task++ {
+				if edge.Kind == dag.AllToAll {
+					e.remDeps[s][task]++
+					continue
+				}
+				lo, hi := job.DepRange(edge, task)
+				e.remDeps[s][task] += hi - lo
+				for i := lo; i < hi; i++ {
+					e.consumers[edge.From][i] = append(e.consumers[edge.From][i], taskRef{s, task})
+				}
+			}
+		}
+	}
+	e.applyInitialState()
+	for s := 0; s < n; s++ {
+		for task := 0; task < job.Stages[s].Tasks; task++ {
+			if e.remDeps[s][task] == 0 && !e.done[s][task] {
+				e.markReady(s, task)
+			}
+		}
+	}
+	if e.cfg.SampleEvery > 0 && e.cfg.OnSample != nil {
+		e.q.Push(e.cfg.SampleEvery, event{kind: evSample})
+	}
+}
+
+// applyInitialState pre-completes tasks according to InitialFracDone,
+// propagating dependency satisfaction exactly as live completions would.
+func (e *engine) applyInitialState() {
+	fracs := e.cfg.InitialFracDone
+	if fracs == nil {
+		return
+	}
+	job := e.job
+	// First mark per-task completions and satisfy one-to-one consumers.
+	for s := 0; s < job.NumStages() && s < len(fracs); s++ {
+		k := int(fracs[s] * float64(job.Stages[s].Tasks))
+		if k > job.Stages[s].Tasks {
+			k = job.Stages[s].Tasks
+		}
+		for task := 0; task < k; task++ {
+			e.done[s][task] = true
+			e.doneCount[s]++
+			e.tasksLeft--
+			for _, c := range e.consumers[s][task] {
+				e.remDeps[c.stage][c.task]--
+			}
+		}
+	}
+	// Then satisfy all-to-all consumers of fully completed stages.
+	for s := 0; s < job.NumStages(); s++ {
+		if e.doneCount[s] != job.Stages[s].Tasks {
+			continue
+		}
+		for _, edge := range job.Outputs(s) {
+			if edge.Kind != dag.AllToAll {
+				continue
+			}
+			for t := 0; t < job.Stages[edge.To].Tasks; t++ {
+				e.remDeps[edge.To][t]--
+			}
+		}
+	}
+}
+
+func (e *engine) markReady(stage, task int) {
+	e.queuedAt[stage][task] = e.now
+	e.ready = append(e.ready, taskRef{stage, task})
+}
+
+func (e *engine) popReady() (taskRef, bool) {
+	if e.readyHead >= len(e.ready) {
+		return taskRef{}, false
+	}
+	r := e.ready[e.readyHead]
+	e.readyHead++
+	// Compact occasionally so the queue does not grow without bound.
+	if e.readyHead > 1024 && e.readyHead*2 > len(e.ready) {
+		e.ready = append(e.ready[:0], e.ready[e.readyHead:]...)
+		e.readyHead = 0
+	}
+	return r, true
+}
+
+func (e *engine) readyLen() int { return len(e.ready) - e.readyHead }
+
+// dispatch starts ready tasks while tokens are available.
+func (e *engine) dispatch() {
+	for e.running < e.cfg.Alloc {
+		r, ok := e.popReady()
+		if !ok {
+			return
+		}
+		e.startTask(r.stage, r.task)
+	}
+}
+
+func (e *engine) startTask(stage, task int) {
+	sp := &e.p.Stages[stage]
+	initDelay := sp.Queue.Sample(e.rng)
+	exec := sp.Exec.Sample(e.rng)
+	if exec <= 0 {
+		exec = time.Millisecond
+	}
+	fails := false
+	if !e.cfg.DisableFailures && e.attempts[stage][task] < e.maxA-1 && sp.FailureProb > 0 {
+		fails = e.rng.Float64() < sp.FailureProb
+	}
+	if fails {
+		// A failing attempt dies partway through its service time.
+		exec = time.Duration(float64(exec) * e.rng.Float64())
+		if exec <= 0 {
+			exec = time.Millisecond
+		}
+	}
+	e.dispatchedAt[stage][task] = e.now
+	e.startedAt[stage][task] = e.now + initDelay
+	e.running++
+	e.q.Push(e.now+initDelay+exec, event{kind: evTaskEnd, stage: stage, task: task, failed: fails})
+}
+
+func (e *engine) run() error {
+	e.dispatch()
+	for e.tasksLeft > 0 {
+		at, ev, ok := e.q.Pop()
+		if !ok {
+			return fmt.Errorf("sim: job %q stalled at %v with %d tasks left (plan bug?)",
+				e.job.Name, e.now, e.tasksLeft)
+		}
+		e.now = at
+		switch ev.kind {
+		case evSample:
+			e.emitSample()
+			if e.tasksLeft > 0 {
+				e.q.Push(e.now+e.cfg.SampleEvery, event{kind: evSample})
+			}
+		case evTaskEnd:
+			e.finishTask(ev)
+		}
+	}
+	e.tr.Completion = e.now
+	return nil
+}
+
+func (e *engine) emitSample() {
+	frac := make([]float64, e.job.NumStages())
+	for s := range frac {
+		frac[s] = float64(e.doneCount[s]) / float64(e.job.Stages[s].Tasks)
+	}
+	e.cfg.OnSample(Snapshot{
+		Time:     e.now,
+		FracDone: frac,
+		Running:  e.running,
+		Ready:    e.readyLen(),
+	})
+}
+
+func (e *engine) finishTask(ev event) {
+	stage, task := ev.stage, ev.task
+	e.running--
+	e.tr.AddTask(trace.TaskEvent{
+		Stage:      stage,
+		Task:       task,
+		Attempt:    e.attempts[stage][task],
+		Queued:     e.queuedAt[stage][task],
+		Dispatched: e.dispatchedAt[stage][task],
+		Started:    e.startedAt[stage][task],
+		Ended:      e.now,
+		Failed:     ev.failed,
+	})
+	if ev.failed {
+		e.attempts[stage][task]++
+		e.markReady(stage, task)
+		e.dispatch()
+		return
+	}
+	e.done[stage][task] = true
+	e.doneCount[stage]++
+	e.tasksLeft--
+	// Satisfy one-to-one consumers of this task.
+	for _, c := range e.consumers[stage][task] {
+		e.remDeps[c.stage][c.task]--
+		if e.remDeps[c.stage][c.task] == 0 {
+			e.markReady(c.stage, c.task)
+		}
+	}
+	// Satisfy all-to-all consumers if the stage just completed.
+	if e.doneCount[stage] == e.job.Stages[stage].Tasks {
+		for _, edge := range e.job.Outputs(stage) {
+			if edge.Kind != dag.AllToAll {
+				continue
+			}
+			for t := 0; t < e.job.Stages[edge.To].Tasks; t++ {
+				e.remDeps[edge.To][t]--
+				if e.remDeps[edge.To][t] == 0 {
+					e.markReady(edge.To, t)
+				}
+			}
+		}
+	}
+	e.dispatch()
+}

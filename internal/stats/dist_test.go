@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("iteration %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestNewRNGDistinctSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds coincide %d/64 times", same)
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	s1 := DeriveSeed(7, "cluster", "jobA")
+	s2 := DeriveSeed(7, "cluster", "jobA")
+	if s1 != s2 {
+		t.Fatalf("DeriveSeed not stable: %d vs %d", s1, s2)
+	}
+	if DeriveSeed(7, "cluster", "jobA") == DeriveSeed(7, "cluster", "jobB") {
+		t.Fatal("DeriveSeed collision for distinct labels")
+	}
+	if DeriveSeed(7, "x") == DeriveSeed(8, "x") {
+		t.Fatal("DeriveSeed collision for distinct masters")
+	}
+}
+
+func TestSplitMix64Property(t *testing.T) {
+	// SplitMix64 must be a bijection-ish mixer: no two of a modest sample of
+	// inputs may collide.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return SplitMix64(a) != SplitMix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoint(t *testing.T) {
+	p := Point{V: 5 * time.Second}
+	r := NewRNG(1)
+	if got := p.Sample(r); got != 5*time.Second {
+		t.Errorf("Sample = %v", got)
+	}
+	if p.Mean() != 5*time.Second || p.Quantile(0.99) != 5*time.Second {
+		t.Error("point distribution not degenerate")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: time.Second, Hi: 3 * time.Second}
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(r)
+		if v < u.Lo || v > u.Hi {
+			t.Fatalf("sample %v out of [%v,%v]", v, u.Lo, u.Hi)
+		}
+	}
+	if got, want := u.Mean(), 2*time.Second; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := u.Quantile(0.5); got != 2*time.Second {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	// Degenerate range must not panic.
+	d := Uniform{Lo: time.Second, Hi: time.Second}
+	if d.Sample(r) != time.Second {
+		t.Error("degenerate uniform should return Lo")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{MeanValue: 10 * time.Second}
+	r := NewRNG(3)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	got := (sum / n).Seconds()
+	if math.Abs(got-10) > 0.5 {
+		t.Errorf("empirical mean %.2fs, want ~10s", got)
+	}
+	if q := e.Quantile(0.5).Seconds(); math.Abs(q-10*math.Ln2) > 1e-6 {
+		t.Errorf("median %.4f, want %.4f", q, 10*math.Ln2)
+	}
+}
+
+func TestLognormalFromMedian(t *testing.T) {
+	l := LognormalFromMedian(4*time.Second, 54*time.Second) // job B stage stats
+	if got := l.Quantile(0.5).Seconds(); math.Abs(got-4) > 0.01 {
+		t.Errorf("median = %.3f, want 4", got)
+	}
+	if got := l.Quantile(0.9).Seconds(); math.Abs(got-54) > 0.5 {
+		t.Errorf("p90 = %.3f, want 54", got)
+	}
+	// Empirical check of the median via sampling.
+	r := NewRNG(4)
+	vals := make([]time.Duration, 0, 10001)
+	for i := 0; i < 10001; i++ {
+		vals = append(vals, l.Sample(r))
+	}
+	e := NewEmpirical(vals)
+	if got := e.Quantile(0.5).Seconds(); math.Abs(got-4) > 0.5 {
+		t.Errorf("sampled median %.3f, want ~4", got)
+	}
+}
+
+func TestLognormalDegenerateSpread(t *testing.T) {
+	l := LognormalFromMedian(10*time.Second, 5*time.Second) // p90 < median
+	if l.Sigma <= 0 {
+		t.Fatalf("sigma must stay positive, got %f", l.Sigma)
+	}
+}
+
+func TestShiftedAndScaled(t *testing.T) {
+	base := Point{V: 10 * time.Second}
+	sh := Shifted{Base: base, Offset: 2 * time.Second}
+	r := NewRNG(5)
+	if got := sh.Sample(r); got != 12*time.Second {
+		t.Errorf("shifted sample = %v", got)
+	}
+	if sh.Mean() != 12*time.Second || sh.Quantile(0.3) != 12*time.Second {
+		t.Error("shifted stats wrong")
+	}
+	sc := Scaled{Base: base, Factor: 1.5}
+	if got := sc.Sample(r); got != 15*time.Second {
+		t.Errorf("scaled sample = %v", got)
+	}
+	if sc.Mean() != 15*time.Second || sc.Quantile(0.9) != 15*time.Second {
+		t.Error("scaled stats wrong")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	samples := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	e := NewEmpirical(samples)
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if got := e.Quantile(0); got != time.Second {
+		t.Errorf("min = %v", got)
+	}
+	if got := e.Quantile(1); got != 3*time.Second {
+		t.Errorf("max = %v", got)
+	}
+	if got := e.Quantile(0.5); got != 2*time.Second {
+		t.Errorf("median = %v", got)
+	}
+	if got := e.Mean(); got != 2*time.Second {
+		t.Errorf("mean = %v", got)
+	}
+	r := NewRNG(6)
+	for i := 0; i < 100; i++ {
+		v := e.Sample(r)
+		if v < time.Second || v > 3*time.Second {
+			t.Fatalf("sample %v outside hull", v)
+		}
+	}
+}
+
+func TestEmpiricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty sample set")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	// For any distribution, Quantile must be monotone non-decreasing in q.
+	dists := []Distribution{
+		Point{V: time.Second},
+		Uniform{Lo: time.Second, Hi: time.Minute},
+		Exponential{MeanValue: 30 * time.Second},
+		LognormalFromMedian(5*time.Second, 60*time.Second),
+		NewEmpirical([]time.Duration{time.Second, 5 * time.Second, 9 * time.Second, 2 * time.Minute}),
+	}
+	f := func(q1, q2 float64) bool {
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		for _, d := range dists {
+			if d.Quantile(q1) > d.Quantile(q2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplesAreNonNegativeProperty(t *testing.T) {
+	dists := []Distribution{
+		Uniform{Lo: 0, Hi: time.Minute},
+		Exponential{MeanValue: 30 * time.Second},
+		LognormalFromMedian(5*time.Second, 60*time.Second),
+	}
+	r := NewRNG(7)
+	for _, d := range dists {
+		for i := 0; i < 2000; i++ {
+			if v := d.Sample(r); v < 0 {
+				t.Fatalf("%v produced negative sample %v", d, v)
+			}
+		}
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	for _, d := range []Distribution{
+		Point{V: time.Second},
+		Uniform{Lo: 0, Hi: time.Second},
+		Exponential{MeanValue: time.Second},
+		Lognormal{Mu: 1, Sigma: 0.5},
+		Shifted{Base: Point{V: time.Second}, Offset: time.Second},
+		Scaled{Base: Point{V: time.Second}, Factor: 2},
+		NewEmpirical([]time.Duration{time.Second}),
+	} {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-quantile of values using linear interpolation
+// between order statistics. It does not require the input to be sorted.
+// It returns 0 for an empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// QuantileDurations returns the q-quantile of an ascending-sorted duration
+// slice with linear interpolation. It returns 0 for an empty input.
+func QuantileDurations(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return time.Duration(float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// values.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)))
+}
+
+// CoV returns the coefficient of variation (stddev / mean) of the values.
+// This is the statistic Table 1 of the paper reports for recurring-job
+// completion times. It returns 0 if the mean is zero.
+func CoV(values []float64) float64 {
+	m := Mean(values)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(values) / m
+}
+
+// CoVDurations is CoV over durations.
+func CoVDurations(ds []time.Duration) float64 {
+	vs := make([]float64, len(ds))
+	for i, d := range ds {
+		vs[i] = d.Seconds()
+	}
+	return CoV(vs)
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, Max           float64
+	P10, P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of the values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		StdDev: StdDev(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P10:    quantileSorted(s, 0.10),
+		P50:    quantileSorted(s, 0.50),
+		P90:    quantileSorted(s, 0.90),
+		P99:    quantileSorted(s, 0.99),
+	}
+}
+
+// SummarizeDurations computes a Summary of the durations, in seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	vs := make([]float64, len(ds))
+	for i, d := range ds {
+		vs[i] = d.Seconds()
+	}
+	return Summarize(vs)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f p50=%.3f p90=%.3f p99=%.3f",
+		s.N, s.Mean, s.StdDev, s.P50, s.P90, s.P99)
+}
+
+// Reservoir keeps a bounded uniform random sample of a stream of durations.
+// The C(p,a) model uses reservoirs so that arbitrarily many offline
+// simulations contribute to each progress bucket in constant memory.
+type Reservoir struct {
+	cap  int
+	seen int64
+	vals []time.Duration
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples.
+func NewReservoir(capacity int) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{cap: capacity}
+}
+
+// Add offers a value to the reservoir. r selects which retained sample to
+// replace once the reservoir is full (Vitter's algorithm R).
+func (rv *Reservoir) Add(v time.Duration, r interface{ Int64N(int64) int64 }) {
+	rv.seen++
+	if len(rv.vals) < rv.cap {
+		rv.vals = append(rv.vals, v)
+		return
+	}
+	if j := r.Int64N(rv.seen); j < int64(rv.cap) {
+		rv.vals[j] = v
+	}
+}
+
+// Len returns the number of retained samples.
+func (rv *Reservoir) Len() int { return len(rv.vals) }
+
+// Seen returns how many values have been offered.
+func (rv *Reservoir) Seen() int64 { return rv.seen }
+
+// Values returns the retained samples. The slice is owned by the reservoir.
+func (rv *Reservoir) Values() []time.Duration { return rv.vals }

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Truncated caps every sample of the base distribution at Max. Workload
+// generators use it to bound the tails of heavy-tailed service-time
+// distributions: production tasks are stragglers, not unbounded — a job
+// whose median task is seconds does not contain hour-long tasks.
+type Truncated struct {
+	Base Distribution
+	Max  time.Duration
+}
+
+// Sample implements Distribution.
+func (t Truncated) Sample(r *rand.Rand) time.Duration {
+	v := t.Base.Sample(r)
+	if v > t.Max {
+		return t.Max
+	}
+	return v
+}
+
+// Mean implements Distribution. It is computed numerically from the clamped
+// quantile function (the base mean is wrong whenever truncation bites).
+func (t Truncated) Mean() time.Duration {
+	const n = 200
+	var sum float64
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / n
+		sum += float64(t.Quantile(q))
+	}
+	return time.Duration(sum / n)
+}
+
+// Quantile implements Distribution.
+func (t Truncated) Quantile(q float64) time.Duration {
+	v := t.Base.Quantile(q)
+	if v > t.Max {
+		return t.Max
+	}
+	return v
+}
+
+func (t Truncated) String() string {
+	return fmt.Sprintf("trunc(%v,max=%v)", t.Base, t.Max)
+}

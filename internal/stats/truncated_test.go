@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTruncatedCapsSamples(t *testing.T) {
+	base := Lognormal{Mu: 2, Sigma: 2} // wild tail
+	tr := Truncated{Base: base, Max: 30 * time.Second}
+	r := NewRNG(1)
+	capped := 0
+	for i := 0; i < 5000; i++ {
+		v := tr.Sample(r)
+		if v > tr.Max {
+			t.Fatalf("sample %v above cap", v)
+		}
+		if v == tr.Max {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Error("cap never reached; test distribution too narrow")
+	}
+}
+
+func TestTruncatedQuantileAndMean(t *testing.T) {
+	tr := Truncated{Base: Uniform{Lo: 0, Hi: 10 * time.Second}, Max: 5 * time.Second}
+	if got := tr.Quantile(0.25); got != 2500*time.Millisecond {
+		t.Errorf("q25 = %v", got)
+	}
+	if got := tr.Quantile(0.9); got != 5*time.Second {
+		t.Errorf("q90 should clamp: %v", got)
+	}
+	// Mean of min(U(0,10), 5) = 2.5*0.5 + 5*0.5 = 3.75s.
+	mean := tr.Mean()
+	if mean < 3600*time.Millisecond || mean > 3900*time.Millisecond {
+		t.Errorf("mean = %v, want ~3.75s", mean)
+	}
+	if tr.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTruncatedQuantileMonotoneProperty(t *testing.T) {
+	tr := Truncated{Base: Lognormal{Mu: 1, Sigma: 1.5}, Max: 20 * time.Second}
+	f := func(a, b float64) bool {
+		a, b = norm01(a), norm01(b)
+		if a > b {
+			a, b = b, a
+		}
+		return tr.Quantile(a) <= tr.Quantile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func norm01(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	for v > 1 {
+		v /= 2
+	}
+	return v
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the trace (events, timeline, completion) so training
+// runs can be archived and profiles rebuilt later.
+func (t *JobTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*JobTrace, error) {
+	var t JobTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if t.JobName == "" {
+		return nil, fmt.Errorf("trace: decoded trace has no job name")
+	}
+	for i, e := range t.Events {
+		if e.Started < e.Queued || e.Ended < e.Started {
+			return nil, fmt.Errorf("trace: event %d has inconsistent timestamps", i)
+		}
+		// Dispatched is optional in hand-written traces (zero = unrecorded).
+		if e.Dispatched != 0 && (e.Dispatched < e.Queued || e.Started < e.Dispatched) {
+			return nil, fmt.Errorf("trace: event %d has inconsistent dispatch time", i)
+		}
+	}
+	return &t, nil
+}

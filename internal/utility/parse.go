@@ -1,0 +1,92 @@
+package utility
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a piecewise-linear utility curve from a compact textual
+// form, so users can specify utility functions directly (§2.2: "Directly
+// specifying a utility function ... alleviates this problem for our
+// users").
+//
+// The format is a comma-separated list of time:utility pairs, where times
+// use Go duration syntax and utilities are floats:
+//
+//	"0:1, 60m:1, 70m:-1, 1060m:-1000"
+//
+// Two shorthands are accepted:
+//
+//	"deadline 60m"        – the paper's standard curve for a 60-minute SLO
+//	"soft 60m grace 30m"  – a soft deadline decaying to zero over 30 minutes
+func Parse(s string) (*PiecewiseLinear, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("utility: empty specification")
+	}
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case "deadline":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("utility: want %q, got %q", "deadline <duration>", s)
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("utility: bad deadline %q: %v", fields[1], err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("utility: deadline %v must be positive", d)
+		}
+		return Deadline(d), nil
+	case "soft":
+		if len(fields) != 4 || fields[2] != "grace" {
+			return nil, fmt.Errorf("utility: want %q, got %q", "soft <duration> grace <duration>", s)
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("utility: bad deadline %q: %v", fields[1], err)
+		}
+		g, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("utility: bad grace %q: %v", fields[3], err)
+		}
+		if d <= 0 || g <= 0 {
+			return nil, fmt.Errorf("utility: deadline and grace must be positive")
+		}
+		return SoftDeadline(d, g), nil
+	}
+	var points []Point
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("utility: point %q is not time:value", part)
+		}
+		t, err := time.ParseDuration(strings.TrimSpace(part[:i]))
+		if err != nil {
+			// Bare "0" is a convenient spelling for the origin.
+			if strings.TrimSpace(part[:i]) == "0" {
+				t, err = 0, nil
+			} else {
+				return nil, fmt.Errorf("utility: bad time in %q: %v", part, err)
+			}
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("utility: negative time in %q", part)
+		}
+		u, err := strconv.ParseFloat(strings.TrimSpace(part[i+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("utility: bad value in %q: %v", part, err)
+		}
+		points = append(points, Point{T: t, U: u})
+	}
+	if len(points) < 2 {
+		return nil, fmt.Errorf("utility: need at least two points, got %d", len(points))
+	}
+	return NewPiecewiseLinear(points)
+}

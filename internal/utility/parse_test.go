@@ -1,0 +1,88 @@
+package utility
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePointList(t *testing.T) {
+	u, err := Parse("0:1, 60m:1, 70m:-1, 1060m:-1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Utility(30 * time.Minute); got != 1 {
+		t.Errorf("U(30m) = %v", got)
+	}
+	if got := u.Utility(65 * time.Minute); math.Abs(got) > 1e-9 {
+		t.Errorf("U(65m) = %v, want 0", got)
+	}
+	if got := u.Utility(2000 * time.Minute); got != -1000 {
+		t.Errorf("U(2000m) = %v", got)
+	}
+}
+
+func TestParsePointListMatchesDeadline(t *testing.T) {
+	a, err := Parse("0:1, 45m:1, 55m:-1, 1045m:-1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Deadline(45 * time.Minute)
+	for _, at := range []time.Duration{0, 10 * time.Minute, 45 * time.Minute,
+		50 * time.Minute, 2 * time.Hour, 20 * time.Hour} {
+		if got, want := a.Utility(at), b.Utility(at); math.Abs(got-want) > 1e-9 {
+			t.Errorf("U(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestParseDeadlineShorthand(t *testing.T) {
+	u, err := Parse("deadline 60m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Deadline(time.Hour)
+	for _, at := range []time.Duration{0, time.Hour, 65 * time.Minute, 3 * time.Hour} {
+		if got := u.Utility(at); math.Abs(got-want.Utility(at)) > 1e-9 {
+			t.Errorf("U(%v) = %v", at, got)
+		}
+	}
+}
+
+func TestParseSoftShorthand(t *testing.T) {
+	u, err := Parse("soft 1h grace 30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Utility(75 * time.Minute); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("U(75m) = %v, want 0.5", got)
+	}
+	if got := u.Utility(5 * time.Hour); got != 0 {
+		t.Errorf("late soft U = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "empty"},
+		{"deadline", "want"},
+		{"deadline nope", "bad deadline"},
+		{"deadline -5m", "positive"},
+		{"soft 1h", "want"},
+		{"soft zzz grace 1m", "bad deadline"},
+		{"soft 1h grace zzz", "bad grace"},
+		{"soft 1h grace -1m", "positive"},
+		{"1m", "not time:value"},
+		{"zzz:1, 2m:0", "bad time"},
+		{"-1m:1, 2m:0", "negative time"},
+		{"1m:zzz, 2m:0", "bad value"},
+		{"1m:1", "at least two"},
+		{"1m:1, 1m:2", "duplicate"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.in, err, c.want)
+		}
+	}
+}

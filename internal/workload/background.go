@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/cluster"
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// BackgroundConfig describes the non-SLO jobs that share the cluster and
+// make spare capacity fluctuate. Arrivals are Poisson; sizes, durations and
+// guarantees vary per job.
+type BackgroundConfig struct {
+	// MeanInterarrival between job submissions (default 3 minutes).
+	MeanInterarrival time.Duration
+	// Horizon: jobs arrive in [0, Horizon) (default 2 hours).
+	Horizon time.Duration
+	// TasksLo/TasksHi bound the per-job task count (default 50..400).
+	TasksLo, TasksHi int
+	// TaskDuration is the per-task service-time distribution
+	// (default lognormal, median 20s / p90 90s).
+	TaskDuration stats.Distribution
+	// GuaranteeLo/GuaranteeHi bound each job's guaranteed tokens
+	// (default 2..8).
+	GuaranteeLo, GuaranteeHi int
+	// BarrierProb is the chance a background job carries a reduce stage
+	// (default 0.5), adding barrier-induced burstiness.
+	BarrierProb float64
+	// BurstPeriod and BurstAmplitude modulate the arrival rate with a
+	// square wave: during the busy half of each period arrivals come
+	// BurstAmplitude× faster, during the quiet half BurstAmplitude× slower.
+	// This makes spare capacity fluctuate the way the paper observes (§2.4:
+	// 5%–80% of an SLO job's vertices ran on spare tokens depending on the
+	// moment). Defaults: 40 minutes, 3×. Amplitude 1 disables bursts.
+	BurstPeriod    time.Duration
+	BurstAmplitude float64
+	// Seed drives the generator.
+	Seed uint64
+}
+
+func (c *BackgroundConfig) fill() error {
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 3 * time.Minute
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Hour
+	}
+	if c.TasksLo == 0 && c.TasksHi == 0 {
+		c.TasksLo, c.TasksHi = 50, 400
+	}
+	if c.TasksLo < 1 || c.TasksHi < c.TasksLo {
+		return fmt.Errorf("workload: bad background task bounds [%d, %d]", c.TasksLo, c.TasksHi)
+	}
+	if c.TaskDuration == nil {
+		c.TaskDuration = stats.LognormalFromMedian(20*time.Second, 90*time.Second)
+	}
+	if c.GuaranteeLo == 0 && c.GuaranteeHi == 0 {
+		c.GuaranteeLo, c.GuaranteeHi = 2, 8
+	}
+	if c.GuaranteeLo < 1 || c.GuaranteeHi < c.GuaranteeLo {
+		return fmt.Errorf("workload: bad background guarantee bounds [%d, %d]", c.GuaranteeLo, c.GuaranteeHi)
+	}
+	if c.BarrierProb == 0 {
+		c.BarrierProb = 0.5
+	}
+	if c.BarrierProb < 0 || c.BarrierProb > 1 {
+		return fmt.Errorf("workload: barrier probability %v out of [0,1]", c.BarrierProb)
+	}
+	if c.BurstPeriod <= 0 {
+		c.BurstPeriod = 40 * time.Minute
+	}
+	if c.BurstAmplitude == 0 {
+		c.BurstAmplitude = 3
+	}
+	if c.BurstAmplitude < 1 {
+		return fmt.Errorf("workload: burst amplitude %v must be >= 1", c.BurstAmplitude)
+	}
+	return nil
+}
+
+// SubmitBackground pre-schedules a fleet of background jobs on the cluster
+// and returns how many were submitted. Call before cluster.Run.
+func SubmitBackground(c *cluster.Cluster, cfg BackgroundConfig) (int, error) {
+	if err := cfg.fill(); err != nil {
+		return 0, err
+	}
+	rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "background"))
+	n := 0
+	for at := time.Duration(0); at < cfg.Horizon; {
+		gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		if cfg.BurstAmplitude > 1 {
+			if (at/cfg.BurstPeriod)%2 == 0 {
+				gap = time.Duration(float64(gap) / cfg.BurstAmplitude)
+			} else {
+				gap = time.Duration(float64(gap) * cfg.BurstAmplitude)
+			}
+		}
+		at += gap
+		if at >= cfg.Horizon {
+			break
+		}
+		tasks := cfg.TasksLo + rng.IntN(cfg.TasksHi-cfg.TasksLo+1)
+		name := fmt.Sprintf("bg%04d", n)
+		var (
+			p   *profile.Profile
+			err error
+		)
+		if rng.Float64() < cfg.BarrierProb {
+			reducers := tasks / 8
+			if reducers < 1 {
+				reducers = 1
+			}
+			job := dag.NewBuilder(name).
+				Stage("map", tasks).
+				Stage("reduce", reducers).
+				Edge("map", "reduce", dag.AllToAll).
+				MustBuild()
+			p, err = profile.New(job, []profile.StageProfile{
+				{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+				{Exec: stats.Scaled{Base: cfg.TaskDuration, Factor: 2}, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+			})
+		} else {
+			job := dag.NewBuilder(name).Stage("map", tasks).MustBuild()
+			p, err = profile.New(job, []profile.StageProfile{
+				{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+			})
+		}
+		if err != nil {
+			return n, err
+		}
+		guarantee := cfg.GuaranteeLo + rng.IntN(cfg.GuaranteeHi-cfg.GuaranteeLo+1)
+		if _, err := c.Submit(cluster.JobConfig{
+			Profile:   p,
+			Guarantee: guarantee,
+			Start:     at,
+		}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

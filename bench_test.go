@@ -231,20 +231,52 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 // BenchmarkCPABuild measures the offline model construction for one job —
-// the precomputation Jockey amortizes across runs of a recurring job.
+// the precomputation Jockey amortizes across runs of a recurring job. The
+// sub-benchmarks vary the worker-pool size; per-cell seeding plus the
+// deterministic merge make every variant build the bit-identical table, so
+// the ratio between p1 and pN is pure wall-clock speedup (bounded by the
+// machine's core count).
 func BenchmarkCPABuild(b *testing.B) {
 	p := workload.MustGenerate(mustSpec(b, "E"), 1)
 	ind := progress.NewTotalWorkWithQ(p)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := model.BuildCPA(p, ind, model.CPAConfig{
-			Allocs:       []int{5, 10, 20, 40, 80},
-			RunsPerAlloc: 5,
-			Seed:         uint64(i),
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run("p"+strconv.Itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := model.BuildCPA(p, ind, model.CPAConfig{
+					Allocs:       []int{5, 10, 20, 40, 80},
+					RunsPerAlloc: 5,
+					Seed:         uint64(i),
+					Parallelism:  par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
+	}
+}
+
+// BenchmarkOnlineSim measures one control-tick's worth of online forward
+// prediction (every candidate allocation at one state) across worker-pool
+// sizes — the §4.4 enhancement's per-decision cost that parallelism must
+// amortize for it to be usable inside a 1-minute control period.
+func BenchmarkOnlineSim(b *testing.B) {
+	p := workload.MustGenerate(mustSpec(b, "B"), 1)
+	st := model.State{Elapsed: 10 * time.Minute, FracDone: halfDone(p)}
+	u := benchUtility()
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run("p"+strconv.Itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := model.NewOnlineSim(p, 8, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				o.SetParallelism(par)
+				for _, a := range []int{5, 10, 20, 40, 80} {
+					o.ExpectedUtility(st, a, 1.2, u)
+				}
+			}
+		})
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 //	jockey -job F -deadline 30m -policy jockey [-seed N] [-slack 1.2]
 //	       [-hysteresis 0.2] [-deadzone 3m] [-period 1m] [-indicator totalworkWithQ]
-//	       [-scale 1.0] [-csv timeline.csv]
+//	       [-scale 1.0] [-csv timeline.csv] [-parallelism N]
 //
 // Policies: jockey, jockey-no-adapt, jockey-no-sim, max-allocation.
 // With -deadline 0 the tool picks the job's standard short deadline.
@@ -42,10 +42,12 @@ func main() {
 		utilSpec  = flag.String("utility", "", `custom utility curve, e.g. "deadline 60m", "soft 1h grace 20m" or "0:1, 60m:1, 70m:-1"`)
 		profOut   = flag.String("save-profile", "", "write the job's training profile as JSON to this file")
 		traceOut  = flag.String("save-trace", "", "write the run's full task trace as JSON to this file")
+		par       = flag.Int("parallelism", 0, "worker pool size for offline model simulations (0 = GOMAXPROCS); results are identical at any value")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv(*seed)
+	env.Parallelism = *par
 	d := *deadline
 	if d == 0 {
 		short, _, err := env.Deadlines(*job)

@@ -61,6 +61,12 @@ type Options struct {
 	ControlPeriod time.Duration
 	// Seed drives offline simulation.
 	Seed uint64
+	// Parallelism bounds the worker pool for the offline C(p, a)
+	// simulations (default: runtime.GOMAXPROCS(0)). The resulting model is
+	// bit-identical at any value — per-run seeds are derived independently
+	// and samples are merged in deterministic order — so this is purely a
+	// wall-clock knob.
+	Parallelism int
 }
 
 // Jockey holds the precomputed model for one recurring job.
@@ -96,6 +102,7 @@ func New(p *profile.Profile, opts Options) (*Jockey, error) {
 		RunsPerAlloc: opts.RunsPerAlloc,
 		SampleEvery:  opts.SampleEvery,
 		Seed:         stats.DeriveSeed(opts.Seed, "cpa"),
+		Parallelism:  opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -60,6 +60,10 @@ type Env struct {
 	TrainScale float64
 	// Background configures the interfering load.
 	Background workload.BackgroundConfig
+	// Parallelism bounds the worker pools of offline C(p, a) builds and of
+	// online forward prediction (0 = runtime.GOMAXPROCS(0)). Results are
+	// bit-identical at any value, so experiments stay reproducible.
+	Parallelism int
 
 	mu       sync.Mutex
 	grounds  map[string]*profile.Profile // ground truth by job name
@@ -210,6 +214,7 @@ func (e *Env) Runtime(job string, ind core.IndicatorName) (*core.Jockey, error) 
 		MaxTokens:    e.MaxTokens,
 		RunsPerAlloc: 8,
 		Seed:         stats.DeriveSeed(e.Seed, "jockey", job, string(ind)),
+		Parallelism:  e.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -355,6 +360,7 @@ func (e *Env) buildPolicy(r SLORun) (control.Policy, error) {
 			if err != nil {
 				return nil, err
 			}
+			online.SetParallelism(e.Parallelism)
 			cfg.Predictor = online
 			return control.NewController(cfg)
 		}

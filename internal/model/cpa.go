@@ -2,7 +2,10 @@ package model
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/profile"
@@ -29,6 +32,12 @@ type CPAConfig struct {
 	ReservoirCap int
 	// Seed drives the simulations.
 	Seed uint64
+	// Parallelism bounds the worker pool that runs the offline simulations
+	// (default runtime.GOMAXPROCS(0)). The table is bit-identical at any
+	// value: each (alloc, run) cell derives its RNG seed independently of
+	// the others, workers only fill their own cell's sample slice, and the
+	// slices are folded into the reservoirs in fixed index order afterwards.
+	Parallelism int
 }
 
 func (c *CPAConfig) fill() error {
@@ -54,7 +63,41 @@ func (c *CPAConfig) fill() error {
 	if c.ReservoirCap <= 0 {
 		c.ReservoirCap = 64
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return nil
+}
+
+// runParallel invokes fn(i) for every i in [0, n) on up to `workers`
+// goroutines, pulling indices from a shared atomic counter. fn must only
+// write state owned by index i.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // CPA is the precomputed table of remaining-completion-time distributions
@@ -92,51 +135,84 @@ func BuildCPA(p *profile.Profile, ind progress.Indicator, cfg CPAConfig) (*CPA, 
 			c.cells[ai][b] = stats.NewReservoir(cfg.ReservoirCap)
 		}
 	}
-	rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "cpa-reservoir"))
-	type sample struct {
-		t time.Duration
-		p float64
+	// Phase 1 — fan out: every (alloc, run) cell is an independent
+	// simulation whose seed depends only on (Seed, alloc, run), so the
+	// worker pool can execute cells in any order on any number of
+	// goroutines. Each worker writes only its own cellObs slot.
+	type obs struct {
+		bucket int
+		v      time.Duration
 	}
-	for ai, alloc := range c.allocs {
-		for run := 0; run < cfg.RunsPerAlloc; run++ {
-			var samples []sample
-			seed := stats.DeriveSeed(cfg.Seed, "cpa", fmt.Sprint(alloc), fmt.Sprint(run))
-			tr, err := sim.Run(sim.Config{
-				Profile:     p,
-				Alloc:       alloc,
-				Seed:        seed,
-				SampleEvery: cfg.SampleEvery,
-				OnSample: func(s sim.Snapshot) {
-					samples = append(samples, sample{t: s.Time, p: ind.Progress(s.FracDone)})
-				},
-			})
-			if err != nil {
-				return nil, err
+	nCells := len(c.allocs) * cfg.RunsPerAlloc
+	cellObs := make([][]obs, nCells)
+	cellErr := make([]error, nCells)
+	runParallel(nCells, cfg.Parallelism, func(idx int) {
+		ai := idx / cfg.RunsPerAlloc
+		run := idx % cfg.RunsPerAlloc
+		alloc := c.allocs[ai]
+		type sample struct {
+			t time.Duration
+			p float64
+		}
+		var samples []sample
+		seed := stats.DeriveSeed(cfg.Seed, "cpa", fmt.Sprint(alloc), fmt.Sprint(run))
+		tr, err := sim.Run(sim.Config{
+			Profile:     p,
+			Alloc:       alloc,
+			Seed:        seed,
+			SampleEvery: cfg.SampleEvery,
+			OnSample: func(s sim.Snapshot) {
+				samples = append(samples, sample{t: s.Time, p: ind.Progress(s.FracDone)})
+			},
+		})
+		if err != nil {
+			cellErr[idx] = err
+			return
+		}
+		// t = 0 with p = 0 is always a valid observation.
+		out := make([]obs, 0, len(samples)+2)
+		out = append(out, obs{bucket: 0, v: tr.Completion})
+		for _, s := range samples {
+			remaining := tr.Completion - s.t
+			if remaining < 0 {
+				continue
 			}
-			// t = 0 with p = 0 is always a valid observation.
-			c.cells[ai][0].Add(tr.Completion, rng)
-			for _, s := range samples {
-				remaining := tr.Completion - s.t
-				if remaining < 0 {
-					continue
-				}
-				c.cells[ai][c.bucket(s.p)].Add(remaining, rng)
-			}
-			// Completion itself: progress 1 has zero remaining time.
-			c.cells[ai][c.buckets].Add(0, rng)
+			out = append(out, obs{bucket: bucketOf(s.p, c.buckets), v: remaining})
+		}
+		// Completion itself: progress 1 has zero remaining time.
+		out = append(out, obs{bucket: c.buckets, v: 0})
+		cellObs[idx] = out
+	})
+	// Phase 2 — deterministic merge: fold the per-cell observations into
+	// the reservoirs in fixed (alloc, run) index order with one shared
+	// reservoir RNG. This replays the exact Add sequence of a sequential
+	// build, so the table is bit-identical at any Parallelism.
+	rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "cpa-reservoir"))
+	for idx := 0; idx < nCells; idx++ {
+		if err := cellErr[idx]; err != nil {
+			return nil, err
+		}
+		ai := idx / cfg.RunsPerAlloc
+		for _, o := range cellObs[idx] {
+			c.cells[ai][o.bucket].Add(o.v, rng)
 		}
 	}
 	return c, nil
 }
 
-func (c *CPA) bucket(p float64) int {
+func (c *CPA) bucket(p float64) int { return bucketOf(p, c.buckets) }
+
+// bucketOf maps progress p ∈ [0, 1] to one of buckets+1 cells, clamping
+// out-of-range values. It is a free function so simulation workers can
+// bucket their own samples without sharing CPA state.
+func bucketOf(p float64, buckets int) int {
 	if p <= 0 {
 		return 0
 	}
 	if p >= 1 {
-		return c.buckets
+		return buckets
 	}
-	return int(p * float64(c.buckets))
+	return int(p * float64(buckets))
 }
 
 // Indicator returns the progress indicator the table was built with.

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/progress"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// widenCPA hand-builds a 10-bucket, single-allocation table with samples
+// only in the listed buckets, so each widening boundary can be exercised
+// precisely. Bucket b holds the single value (b+1) seconds, making the
+// returned samples identify which cell satisfied the query.
+func widenCPA(t *testing.T, filled ...int) *CPA {
+	t.Helper()
+	const buckets = 10
+	c := &CPA{
+		indicator: progress.NewTotalWork(detProfile(t)),
+		allocs:    []int{4},
+		buckets:   buckets,
+		cells:     [][]*stats.Reservoir{make([]*stats.Reservoir, buckets+1)},
+	}
+	rng := stats.NewRNG(1)
+	for b := range c.cells[0] {
+		c.cells[0][b] = stats.NewReservoir(4)
+	}
+	for _, b := range filled {
+		c.cells[0][b].Add(time.Duration(b+1)*time.Second, rng)
+	}
+	return c
+}
+
+func TestSamplesAtWidening(t *testing.T) {
+	cases := []struct {
+		name   string
+		filled []int
+		p      float64
+		want   time.Duration // 0 means "no samples anywhere"
+	}{
+		{name: "exact hit, no widening", filled: []int{5}, p: 0.55, want: 6 * time.Second},
+		{name: "all cells empty", filled: nil, p: 0.5, want: 0},
+		{name: "p=0 hits bucket 0", filled: []int{0}, p: 0, want: 1 * time.Second},
+		{name: "p=0 widens upward", filled: []int{3}, p: 0, want: 4 * time.Second},
+		{name: "p=1 hits the terminal bucket", filled: []int{10}, p: 1, want: 11 * time.Second},
+		{name: "p=1 widens downward", filled: []int{7}, p: 1, want: 8 * time.Second},
+		{name: "p beyond 1 clamps then widens", filled: []int{2}, p: 3.7, want: 3 * time.Second},
+		{name: "negative p clamps to bucket 0", filled: []int{0, 10}, p: -0.4, want: 1 * time.Second},
+		{name: "tie prefers the lower (pessimistic) bucket", filled: []int{4, 6}, p: 0.55, want: 5 * time.Second},
+		{name: "nearest non-empty wins over farther lower", filled: []int{1, 6}, p: 0.55, want: 7 * time.Second},
+		{name: "progress beyond all samples widens to the last populated cell",
+			filled: []int{2}, p: 0.95, want: 3 * time.Second},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			c := widenCPA(t, cse.filled...)
+			got := c.samplesAt(cse.p, 4)
+			if cse.want == 0 {
+				if got != nil {
+					t.Fatalf("samplesAt(%v) = %v, want nil", cse.p, got)
+				}
+				return
+			}
+			if len(got) != 1 || got[0] != cse.want {
+				t.Fatalf("samplesAt(%v) = %v, want [%v]", cse.p, got, cse.want)
+			}
+		})
+	}
+}
+
+// TestSamplesAtEmptyTableQuantiles: the public entry points must degrade
+// gracefully (zero remaining, bare elapsed utility) when the whole table is
+// empty rather than panic or return junk.
+func TestSamplesAtEmptyTableQuantiles(t *testing.T) {
+	c := widenCPA(t)
+	st := State{Elapsed: time.Minute, FracDone: []float64{0.5, 0.5}}
+	if got := c.Remaining(st, 4, 0.9); got != 0 {
+		t.Errorf("Remaining on empty table = %v, want 0", got)
+	}
+}

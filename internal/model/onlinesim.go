@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -25,6 +26,7 @@ type OnlineSim struct {
 	p    *profile.Profile
 	runs int
 	seed uint64
+	par  int
 
 	// Single-entry memo: the control loop queries the same state for every
 	// candidate allocation, and Remaining/ExpectedUtility share samples.
@@ -43,6 +45,15 @@ func NewOnlineSim(p *profile.Profile, runs int, seed uint64) (*OnlineSim, error)
 	}
 	return &OnlineSim{p: p, runs: runs, seed: seed, memoSamples: map[int][]time.Duration{}}, nil
 }
+
+// SetParallelism bounds the worker pool that executes the forward
+// simulations of one query (0 or negative = runtime.GOMAXPROCS(0), the
+// default). Predictions are bit-identical at any value: each forward run's
+// seed depends only on (seed, state, alloc, run index), workers write
+// disjoint result slots, and results are collected in run-index order.
+// OnlineSim itself is not safe for concurrent queries; the knob parallelizes
+// the simulations inside a single query.
+func (o *OnlineSim) SetParallelism(n int) { o.par = n }
 
 // Name implements Predictor.
 func (o *OnlineSim) Name() string { return "online-sim" }
@@ -71,8 +82,13 @@ func (o *OnlineSim) samples(st State, a int) []time.Duration {
 	if s, ok := o.memoSamples[a]; ok {
 		return s
 	}
-	out := make([]time.Duration, 0, o.runs)
-	for r := 0; r < o.runs; r++ {
+	workers := o.par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	completions := make([]time.Duration, o.runs)
+	succeeded := make([]bool, o.runs)
+	runParallel(o.runs, workers, func(r int) {
 		seed := stats.DeriveSeed(o.seed, "online", key, fmt.Sprint(a), fmt.Sprint(r))
 		tr, err := sim.Run(sim.Config{
 			Profile:         o.p,
@@ -83,9 +99,16 @@ func (o *OnlineSim) samples(st State, a int) []time.Duration {
 		if err != nil {
 			// A stalled forward simulation means the state vector is
 			// inconsistent with the plan; treat as "no information".
-			continue
+			return
 		}
-		out = append(out, tr.Completion)
+		completions[r] = tr.Completion
+		succeeded[r] = true
+	})
+	out := make([]time.Duration, 0, o.runs)
+	for r := 0; r < o.runs; r++ {
+		if succeeded[r] {
+			out = append(out, completions[r])
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	o.memoSamples[a] = out

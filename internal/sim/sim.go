@@ -119,6 +119,10 @@ func Run(cfg Config) (*trace.JobTrace, error) {
 	if cfg.Alloc < 1 {
 		return nil, fmt.Errorf("sim: allocation %d; need at least 1 token", cfg.Alloc)
 	}
+	if cfg.InitialFracDone != nil && len(cfg.InitialFracDone) != cfg.Profile.Job.NumStages() {
+		return nil, fmt.Errorf("sim: InitialFracDone has %d entries; plan %q has %d stages",
+			len(cfg.InitialFracDone), cfg.Profile.Job.Name, cfg.Profile.Job.NumStages())
+	}
 	e := &engine{
 		cfg:  cfg,
 		p:    cfg.Profile,
@@ -199,7 +203,8 @@ func (e *engine) applyInitialState() {
 	}
 	job := e.job
 	// First mark per-task completions and satisfy one-to-one consumers.
-	for s := 0; s < job.NumStages() && s < len(fracs); s++ {
+	// Run validated len(fracs) == NumStages before the engine was built.
+	for s := 0; s < job.NumStages(); s++ {
 		k := int(fracs[s] * float64(job.Stages[s].Tasks))
 		if k > job.Stages[s].Tasks {
 			k = job.Stages[s].Tasks

@@ -224,6 +224,62 @@ func TestConfigErrors(t *testing.T) {
 	}
 }
 
+// TestInitialFracDoneLengthMismatch: a fraction vector that is not parallel
+// to the plan's stages must be rejected up front — silently truncating (or
+// ignoring the tail of) the vector would start the simulation from a state
+// the caller never described.
+func TestInitialFracDoneLengthMismatch(t *testing.T) {
+	p := fixedProfile(t) // two stages
+	cases := []struct {
+		name  string
+		fracs []float64
+		ok    bool
+	}{
+		{name: "nil means fresh start", fracs: nil, ok: true},
+		{name: "matching length", fracs: []float64{0.5, 0}, ok: true},
+		{name: "too short", fracs: []float64{0.5}, ok: false},
+		{name: "empty but non-nil", fracs: []float64{}, ok: false},
+		{name: "too long", fracs: []float64{0.5, 0, 1}, ok: false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := Run(Config{Profile: p, Alloc: 4, Seed: 1, InitialFracDone: c.fracs})
+			if c.ok {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if tr.Completion <= 0 {
+					t.Fatalf("completion = %v", tr.Completion)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("length mismatch must fail")
+			}
+			if !strings.Contains(err.Error(), "InitialFracDone") {
+				t.Fatalf("error %q does not name InitialFracDone", err)
+			}
+		})
+	}
+}
+
+// TestInitialFracDoneResume: a matching vector actually shortens the run —
+// the validated path must still apply the pre-completed state.
+func TestInitialFracDoneResume(t *testing.T) {
+	p := fixedProfile(t)
+	fresh, err := Run(Config{Profile: p, Alloc: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(Config{Profile: p, Alloc: 4, Seed: 1, InitialFracDone: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Completion >= fresh.Completion {
+		t.Errorf("resumed run (%v) not shorter than fresh run (%v)", resumed.Completion, fresh.Completion)
+	}
+}
+
 func TestSampling(t *testing.T) {
 	p := fixedProfile(t)
 	var snaps []Snapshot

@@ -152,7 +152,9 @@ type (
 	// Jockey is the per-job runtime: offline model + policy factory.
 	Jockey = core.Jockey
 	// Options configures the runtime; the zero value gives the paper's
-	// defaults.
+	// defaults. Options.Parallelism bounds the worker pool running the
+	// offline C(p, a) simulations (default GOMAXPROCS); the model built is
+	// bit-identical at any setting.
 	Options = core.Options
 	// IndicatorName selects a progress indicator.
 	IndicatorName = core.IndicatorName
@@ -267,7 +269,9 @@ func NewArbiter(budget int) (*Arbiter, error) { return core.NewArbiter(budget) }
 type OnlineSimPredictor = model.OnlineSim
 
 // NewOnlineSimPredictor builds the online predictor; runs forward
-// simulations per (state, allocation) query.
+// simulations per (state, allocation) query. The forward runs of one query
+// execute on a worker pool (see OnlineSimPredictor.SetParallelism); the
+// predictions are bit-identical at any pool size.
 func NewOnlineSimPredictor(p *Profile, runs int, seed uint64) (*OnlineSimPredictor, error) {
 	return model.NewOnlineSim(p, runs, seed)
 }

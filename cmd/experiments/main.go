@@ -7,7 +7,7 @@
 //	experiments [-seed N] [-out DIR] [-quick] [-run LIST] [-parallelism N]
 //
 // -run selects a comma-separated subset of:
-// table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2
+// table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2,robustness
 // (fig4 and fig5 share one set of runs and always run together).
 package main
 
@@ -201,6 +201,14 @@ func main() {
 			fatal(err)
 		}
 		emit("ext2", e2.Render())
+	}
+	if selected("robustness") {
+		step("Robustness: guard rails under injected faults")
+		rb, err := experiments.Robustness(env, "B", seeds)
+		if err != nil {
+			fatal(err)
+		}
+		emit("robustness", rb.Render())
 	}
 	if selected("fig13") {
 		step("Figure 13: hysteresis sweep")

@@ -8,9 +8,13 @@
 //	jockey -job F -deadline 30m -policy jockey [-seed N] [-slack 1.2]
 //	       [-hysteresis 0.2] [-deadzone 3m] [-period 1m] [-indicator totalworkWithQ]
 //	       [-scale 1.0] [-csv timeline.csv] [-parallelism N]
+//	       [-guard] [-drift-factor 2.0 -drift-at 6m]
 //
 // Policies: jockey, jockey-no-adapt, jockey-no-sim, max-allocation.
 // With -deadline 0 the tool picks the job's standard short deadline.
+// -guard wraps the controller in the model-staleness guard rails (deviation
+// detection, online re-profiling, fallback chain); -drift-factor/-drift-at
+// inject an all-stage service-time drift to watch the guard react.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/jockeysim/jockey/internal/cluster"
 	"github.com/jockeysim/jockey/internal/core"
 	"github.com/jockeysim/jockey/internal/experiments"
 	"github.com/jockeysim/jockey/internal/utility"
@@ -43,6 +48,9 @@ func main() {
 		profOut   = flag.String("save-profile", "", "write the job's training profile as JSON to this file")
 		traceOut  = flag.String("save-trace", "", "write the run's full task trace as JSON to this file")
 		par       = flag.Int("parallelism", 0, "worker pool size for offline model simulations (0 = GOMAXPROCS); results are identical at any value")
+		guard     = flag.Bool("guard", false, "wrap the controller in the model-staleness guard rails (policy jockey only)")
+		driftFac  = flag.Float64("drift-factor", 0, "inject an all-stage service-time drift of this factor (0 = none)")
+		driftAt   = flag.Duration("drift-at", 0, "when the injected drift starts, relative to job start")
 	)
 	flag.Parse()
 
@@ -78,13 +86,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "training profile written to %s\n", *profOut)
 	}
+	var drifts []cluster.StageDrift
+	if *driftFac > 0 {
+		drifts = []cluster.StageDrift{{At: *driftAt, Stage: -1, Factor: *driftFac}}
+	}
 	out, err := env.Run(experiments.SLORun{
 		Job:        *job,
 		Deadline:   d,
 		Policy:     experiments.PolicyKind(*policy),
+		Guarded:    *guard,
 		Seed:       *seed,
 		InputScale: *scale,
 		Utility:    u,
+		Drifts:     drifts,
 		Knobs: experiments.Knobs{
 			Slack:           *slack,
 			Hysteresis:      *hyst,
@@ -99,11 +113,24 @@ func main() {
 	}
 
 	fmt.Printf("job %s under %s, deadline %v\n\n", *job, *policy, d)
-	fmt.Println("  t[min]  raw  granted  running  oracle  progress  predicted[min]")
-	for _, p := range out.Trace.Timeline {
-		fmt.Printf("  %6.1f  %3d  %7d  %7d  %6d  %7.0f%%  %14.1f\n",
-			p.T.Minutes(), p.Raw, p.Granted, p.Running, p.Oracle,
-			100*p.Progress, p.Predicted.Minutes())
+	if *guard {
+		fmt.Println("  t[min]  raw  granted  running  oracle  progress  predicted[min]  dev   mode")
+		for _, p := range out.Trace.Timeline {
+			fmt.Printf("  %6.1f  %3d  %7d  %7d  %6d  %7.0f%%  %14.1f  %4.2f  %s\n",
+				p.T.Minutes(), p.Raw, p.Granted, p.Running, p.Oracle,
+				100*p.Progress, p.Predicted.Minutes(), p.Deviation, p.Mode)
+		}
+	} else {
+		fmt.Println("  t[min]  raw  granted  running  oracle  progress  predicted[min]")
+		for _, p := range out.Trace.Timeline {
+			fmt.Printf("  %6.1f  %3d  %7d  %7d  %6d  %7.0f%%  %14.1f\n",
+				p.T.Minutes(), p.Raw, p.Granted, p.Running, p.Oracle,
+				100*p.Progress, p.Predicted.Minutes())
+		}
+	}
+	for _, ev := range out.GuardEvents {
+		fmt.Printf("guard: t=%v %s %s -> %s (deviation %.2f, live samples %d)\n",
+			ev.At, ev.Kind, ev.From, ev.To, ev.Deviation, ev.LiveSamples)
 	}
 	fmt.Printf("\ncompleted in %v — %.0f%% of the deadline — SLO met: %v\n",
 		out.Completion.Round(time.Second), 100*out.RelCompletion, out.Met)

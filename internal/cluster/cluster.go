@@ -55,6 +55,53 @@ type Config struct {
 	// GFS/HDFS/Cosmos). Root tasks prefer these machines; running there
 	// co-locates storage and computation ("locality", §2.1/§3.1).
 	Replicas int
+	// RackOutages schedules correlated multi-machine failures (a rack or
+	// container losing power/network), unlike the independent failures MTBF
+	// models. Used to manufacture conditions a training run never saw.
+	RackOutages []RackOutage
+	// Contention schedules cluster-wide token-contention windows during
+	// which jobs receive fewer tokens than their nominal guarantee —
+	// modelling over-subscription, where the promise is not honored.
+	Contention []ContentionWindow
+}
+
+// RackOutage takes a contiguous range of machines down together at a fixed
+// cluster time — a correlated failure, as opposed to MachineMTBF's
+// independent ones.
+type RackOutage struct {
+	// At is the outage time on the cluster clock.
+	At time.Duration
+	// FirstMachine is the index of the first machine in the rack.
+	FirstMachine int
+	// Machines is how many consecutive machines go down.
+	Machines int
+	// Duration is how long the rack stays down.
+	Duration time.Duration
+}
+
+// ContentionWindow models token over-subscription during [From, To): every
+// job's dispatchable guarantee is scaled down to Frac of its nominal value
+// (allocation accounting still charges the nominal guarantee — the promise —
+// which is exactly what makes a controller's model stale).
+type ContentionWindow struct {
+	// From and To bound the window on the cluster clock.
+	From, To time.Duration
+	// Frac in [0, 1) scales each job's dispatchable guarantee.
+	Frac float64
+}
+
+// StageDrift multiplies one stage's (or every stage's) task service times by
+// Factor from a point in the job's run onward — input growth, data skew, or
+// slow hardware the profile run never saw. Only attempts dispatched after At
+// are affected.
+type StageDrift struct {
+	// At is the offset from job start at which the drift appears.
+	At time.Duration
+	// Stage is the affected stage index; -1 applies the drift to all stages.
+	Stage int
+	// Factor multiplies task service times (must be > 0; 2 = tasks take
+	// twice as long as profiled).
+	Factor float64
 }
 
 func (c *Config) fill() error {
@@ -79,6 +126,25 @@ func (c *Config) fill() error {
 	}
 	if c.Replicas < 1 {
 		return fmt.Errorf("cluster: need at least one replica, got %d", c.Replicas)
+	}
+	for i, r := range c.RackOutages {
+		if r.At < 0 || r.Duration <= 0 {
+			return fmt.Errorf("cluster: rack outage %d needs At >= 0 and Duration > 0, got At=%v Duration=%v",
+				i, r.At, r.Duration)
+		}
+		if r.Machines < 1 || r.FirstMachine < 0 || r.FirstMachine+r.Machines > c.Machines {
+			return fmt.Errorf("cluster: rack outage %d spans machines [%d, %d) of a %d-machine cluster",
+				i, r.FirstMachine, r.FirstMachine+r.Machines, c.Machines)
+		}
+	}
+	for i, w := range c.Contention {
+		if w.From < 0 || w.To <= w.From {
+			return fmt.Errorf("cluster: contention window %d needs 0 <= From < To, got [%v, %v)",
+				i, w.From, w.To)
+		}
+		if w.Frac < 0 || w.Frac >= 1 {
+			return fmt.Errorf("cluster: contention window %d fraction %v out of [0, 1)", i, w.Frac)
+		}
 	}
 	return nil
 }
@@ -131,8 +197,16 @@ type JobConfig struct {
 	SpeculativeThreshold float64
 	// DeadlineChanges, if any, must be sorted ascending by At.
 	DeadlineChanges []DeadlineChange
+	// Drifts injects per-stage runtime drift mid-run (see StageDrift) —
+	// ground truth diverging from the profile the job's policy was built on.
+	Drifts []StageDrift
 	// OnDecision, if set, observes every control decision.
 	OnDecision func(at time.Duration, d control.Decision)
+	// OnTaskEvent, if set, observes every completed task attempt as it
+	// happens — the live feed the guard-rail layer (control.Guard) blends
+	// into its profile for online re-profiling. Fires for Tracked and
+	// untracked jobs alike.
+	OnTaskEvent func(e trace.TaskEvent)
 	// OnSample, if set, observes the job's state every SamplePeriod
 	// (default 1 minute), independent of any policy. Used by experiments
 	// that replay progress indicators offline.
@@ -219,6 +293,9 @@ type machine struct {
 	up    bool
 	slots int // total slots when up
 	used  int
+	// downUntil is the latest scheduled recovery time; recover events firing
+	// earlier are stale (an overlapping rack outage extended the downtime).
+	downUntil time.Duration
 }
 
 // New creates an empty cluster.
@@ -236,6 +313,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.MachineMTBF > 0 {
 		c.scheduleNextMachineFailure()
+	}
+	for i, r := range cfg.RackOutages {
+		c.q.Push(r.At, event{kind: evRackOutage, change: i})
+	}
+	for _, w := range cfg.Contention {
+		// Boundary events force a scheduling pass when the effective
+		// guarantee changes; the window itself is evaluated from the clock.
+		c.q.Push(w.From, event{kind: evContention})
+		c.q.Push(w.To, event{kind: evContention})
 	}
 	return c, nil
 }
@@ -302,9 +388,25 @@ func (c *Cluster) Submit(cfg JobConfig) (*Handle, error) {
 	if cfg.Start < c.now {
 		cfg.Start = c.now
 	}
-	for i := 1; i < len(cfg.DeadlineChanges); i++ {
-		if cfg.DeadlineChanges[i].At < cfg.DeadlineChanges[i-1].At {
+	for i, dc := range cfg.DeadlineChanges {
+		if dc.At < 0 || dc.Deadline <= 0 {
+			return nil, fmt.Errorf("cluster: deadline change %d needs At >= 0 and Deadline > 0, got At=%v Deadline=%v",
+				i, dc.At, dc.Deadline)
+		}
+		if i > 0 && dc.At < cfg.DeadlineChanges[i-1].At {
 			return nil, fmt.Errorf("cluster: deadline changes must be sorted by time")
+		}
+	}
+	for i, d := range cfg.Drifts {
+		if d.At < 0 {
+			return nil, fmt.Errorf("cluster: drift %d has negative time %v", i, d.At)
+		}
+		if d.Factor <= 0 {
+			return nil, fmt.Errorf("cluster: drift %d has non-positive factor %v", i, d.Factor)
+		}
+		if d.Stage < -1 || d.Stage >= cfg.Profile.Job.NumStages() {
+			return nil, fmt.Errorf("cluster: drift %d references stage %d, job %q has %d stages",
+				i, d.Stage, cfg.Profile.Job.Name, cfg.Profile.Job.NumStages())
 		}
 	}
 	id := len(c.jobs)
@@ -358,6 +460,9 @@ type jobRun struct {
 	// mitigation); duplicates always run on spare tokens.
 	dups     map[taskKey]*runningTask
 	stageP90 []time.Duration // per stage, the service-time p90 (speculation trigger)
+	// driftFactor multiplies each stage's sampled service times (1 until a
+	// StageDrift fires; drifts compound multiplicatively).
+	driftFactor []float64
 
 	// allocation accounting
 	lastAllocAt time.Duration
@@ -405,6 +510,10 @@ func newJobRun(id int, cfg JobConfig, seed uint64) *jobRun {
 		for s := range jr.stageP90 {
 			jr.stageP90[s] = cfg.Profile.Stages[s].Exec.Quantile(0.9)
 		}
+	}
+	jr.driftFactor = make([]float64, cfg.Profile.Job.NumStages())
+	for s := range jr.driftFactor {
+		jr.driftFactor[s] = 1
 	}
 	job := jr.job
 	n := job.NumStages()

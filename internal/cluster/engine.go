@@ -23,6 +23,9 @@ const (
 	evMachineRecover
 	evJobSample
 	evSpecTick
+	evStageDrift
+	evRackOutage
+	evContention
 )
 
 type event struct {
@@ -34,7 +37,7 @@ type event struct {
 	failed  bool
 	dup     bool // the attempt is a speculative duplicate
 	machine int
-	change  int // index into DeadlineChanges for evDeadlineChange
+	change  int // index into DeadlineChanges, Drifts, or RackOutages
 }
 
 // Run processes events until every tracked job has completed (or the event
@@ -43,11 +46,12 @@ func (c *Cluster) Run() error {
 	for c.tracked > 0 {
 		at, ev, ok := c.q.Pop()
 		if !ok {
-			return fmt.Errorf("cluster: event queue drained with %d tracked jobs unfinished", c.tracked)
+			return fmt.Errorf("cluster: event queue drained with %d tracked jobs unfinished (%s)",
+				c.tracked, c.unfinishedTracked())
 		}
 		if at > c.cfg.MaxSimTime {
-			return fmt.Errorf("cluster: exceeded max simulated time %v with %d tracked jobs unfinished",
-				c.cfg.MaxSimTime, c.tracked)
+			return fmt.Errorf("cluster: exceeded max simulated time %v with %d tracked jobs unfinished (%s)",
+				c.cfg.MaxSimTime, c.tracked, c.unfinishedTracked())
 		}
 		c.accrueUtil(at)
 		c.now = at
@@ -68,9 +72,30 @@ func (c *Cluster) Run() error {
 			c.handleJobSample(ev.job)
 		case evSpecTick:
 			c.handleSpecTick(ev.job)
+		case evStageDrift:
+			c.handleStageDrift(ev)
+		case evRackOutage:
+			c.handleRackOutage(ev.change)
+		case evContention:
+			c.reschedule() // effective guarantees changed at this boundary
 		}
 	}
 	return nil
+}
+
+// unfinishedTracked names the tracked jobs that have not completed, for
+// debuggable failure messages.
+func (c *Cluster) unfinishedTracked() string {
+	names := ""
+	for _, jr := range c.jobs {
+		if jr.cfg.Tracked && !jr.completed {
+			if names != "" {
+				names += ", "
+			}
+			names += jr.job.Name
+		}
+	}
+	return names
 }
 
 func (c *Cluster) accrueUtil(now time.Duration) {
@@ -117,6 +142,14 @@ func (c *Cluster) handleArrival(id int) {
 	if jr.cfg.SpeculativeThreshold > 0 {
 		c.q.Push(c.now+specTickPeriod, event{kind: evSpecTick, job: id})
 	}
+	for i, d := range jr.cfg.Drifts {
+		if d.At == 0 {
+			// A drift at the very start must cover the arrival dispatch too.
+			c.applyDrift(jr, i)
+			continue
+		}
+		c.q.Push(jr.start+d.At, event{kind: evStageDrift, job: id, change: i})
+	}
 	c.reschedule()
 }
 
@@ -127,11 +160,76 @@ const specTickPeriod = 15 * time.Second
 
 func (c *Cluster) handleSpecTick(id int) {
 	jr := c.jobs[id]
-	if jr.completed {
+	// Stop the tick chain the moment the job can no longer speculate: a
+	// completed (or unspeculated) job must not keep the event queue alive.
+	if jr.completed || jr.tasksLeft == 0 || jr.cfg.SpeculativeThreshold <= 0 {
 		return
 	}
 	c.q.Push(c.now+specTickPeriod, event{kind: evSpecTick, job: id})
 	c.reschedule()
+}
+
+func (c *Cluster) handleStageDrift(ev event) {
+	jr := c.jobs[ev.job]
+	if jr.completed {
+		return
+	}
+	c.applyDrift(jr, ev.change)
+}
+
+// applyDrift folds one StageDrift into the job's runtime factors.
+// Already-running attempts keep their sampled durations; only attempts
+// dispatched from now on see the drift.
+func (c *Cluster) applyDrift(jr *jobRun, idx int) {
+	d := jr.cfg.Drifts[idx]
+	if d.Stage < 0 {
+		for s := range jr.driftFactor {
+			jr.driftFactor[s] *= d.Factor
+		}
+	} else {
+		jr.driftFactor[d.Stage] *= d.Factor
+	}
+}
+
+func (c *Cluster) handleRackOutage(idx int) {
+	r := c.cfg.RackOutages[idx]
+	until := c.now + r.Duration
+	for mi := r.FirstMachine; mi < r.FirstMachine+r.Machines; mi++ {
+		if c.machines[mi].up {
+			c.killMachine(mi)
+		}
+		// An already-down machine (MTBF failure or overlapping rack) just has
+		// its downtime extended; its earlier recover event goes stale.
+		if until > c.machines[mi].downUntil {
+			c.machines[mi].downUntil = until
+			c.q.Push(until, event{kind: evMachineRecover, machine: mi})
+		}
+	}
+	c.reschedule()
+}
+
+// contentionFrac returns the guarantee-scaling factor in force now (1 when
+// no contention window is open; overlapping windows take the tightest).
+func (c *Cluster) contentionFrac() float64 {
+	f := 1.0
+	for _, w := range c.cfg.Contention {
+		if c.now >= w.From && c.now < w.To && w.Frac < f {
+			f = w.Frac
+		}
+	}
+	return f
+}
+
+// effectiveGuarantee returns how many guaranteed tokens the scheduler
+// actually honors for the job right now. Allocation accounting still charges
+// the nominal guarantee: during contention the job pays for a promise the
+// cluster breaks.
+func (c *Cluster) effectiveGuarantee(jr *jobRun) int {
+	f := c.contentionFrac()
+	if f >= 1 {
+		return jr.guarantee
+	}
+	return int(float64(jr.guarantee) * f)
 }
 
 func (c *Cluster) handleJobSample(id int) {
@@ -171,6 +269,8 @@ func (c *Cluster) controlDecision(jr *jobRun) {
 			Oracle:    oracle,
 			Progress:  d.Progress,
 			Predicted: d.Predicted,
+			Mode:      d.Mode,
+			Deviation: d.Deviation,
 		})
 	}
 }
@@ -270,14 +370,14 @@ func (c *Cluster) handleTaskEnd(ev event) {
 }
 
 func (c *Cluster) recordAttempt(jr *jobRun, rt *runningTask, ended time.Duration, failed bool) {
-	if jr.result.Trace == nil {
+	if jr.result.Trace == nil && jr.cfg.OnTaskEvent == nil {
 		return
 	}
 	started := rt.execStart
 	if started > ended {
 		started = ended // killed during its init delay
 	}
-	jr.result.Trace.AddTask(trace.TaskEvent{
+	e := trace.TaskEvent{
 		Stage:      rt.stage,
 		Task:       rt.task,
 		Attempt:    rt.attempt,
@@ -286,7 +386,13 @@ func (c *Cluster) recordAttempt(jr *jobRun, rt *runningTask, ended time.Duration
 		Started:    started - jr.start,
 		Ended:      ended - jr.start,
 		Failed:     failed,
-	})
+	}
+	if jr.result.Trace != nil {
+		jr.result.Trace.AddTask(e)
+	}
+	if jr.cfg.OnTaskEvent != nil {
+		jr.cfg.OnTaskEvent(e)
+	}
 }
 
 func (c *Cluster) completeJob(jr *jobRun) {
@@ -338,6 +444,9 @@ func (c *Cluster) handleMachineFail() {
 		mi := up[c.rng.IntN(len(up))]
 		c.killMachine(mi)
 		rec := c.cfg.MachineRecovery.Sample(c.rng)
+		if c.now+rec > c.machines[mi].downUntil {
+			c.machines[mi].downUntil = c.now + rec
+		}
 		c.q.Push(c.now+rec, event{kind: evMachineRecover, machine: mi})
 	}
 	c.scheduleNextMachineFailure()
@@ -427,6 +536,9 @@ func (c *Cluster) evictTask(jr *jobRun, rt *runningTask) {
 }
 
 func (c *Cluster) handleMachineRecover(mi int) {
+	if c.now < c.machines[mi].downUntil {
+		return // stale: an overlapping outage extended this machine's downtime
+	}
 	c.machines[mi].up = true
 	c.reschedule()
 }
@@ -511,8 +623,9 @@ func (c *Cluster) reclassify() {
 				tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
 			}
 		}
+		eff := c.effectiveGuarantee(jr)
 		for i, rt := range tasks {
-			rt.guaranteed = i < jr.guarantee
+			rt.guaranteed = i < eff
 		}
 	}
 }
@@ -550,7 +663,7 @@ func (c *Cluster) dispatchGuaranteed() {
 		if !jr.arrived || jr.completed {
 			continue
 		}
-		for jr.guaranteedRunning() < jr.guarantee && jr.readyLen() > 0 {
+		for jr.guaranteedRunning() < c.effectiveGuarantee(jr) && jr.readyLen() > 0 {
 			r, _ := jr.popReady()
 			mi := c.freeMachineFor(jr, r.stage, r.task)
 			if mi < 0 {
@@ -696,7 +809,7 @@ func (c *Cluster) startDuplicate(jr *jobRun, orig *runningTask, machine int) {
 	jr.accrueAlloc(c.now)
 	sp := &jr.p.Stages[orig.stage]
 	initDelay := sp.Queue.Sample(jr.rng)
-	exec := sp.Exec.Sample(jr.rng)
+	exec := jr.driftExec(orig.stage, sp.Exec.Sample(jr.rng))
 	if exec <= 0 {
 		exec = time.Millisecond
 	}
@@ -734,7 +847,7 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 	jr.accrueAlloc(c.now)
 	sp := &jr.p.Stages[r.stage]
 	initDelay := sp.Queue.Sample(jr.rng)
-	exec := sp.Exec.Sample(jr.rng)
+	exec := jr.driftExec(r.stage, sp.Exec.Sample(jr.rng))
 	if exec <= 0 {
 		exec = time.Millisecond
 	}
@@ -768,6 +881,15 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 		attempt: rt.attempt,
 		failed:  fails,
 	})
+}
+
+// driftExec applies the stage's current runtime-drift factor to a sampled
+// service time.
+func (jr *jobRun) driftExec(stage int, exec time.Duration) time.Duration {
+	if f := jr.driftFactor[stage]; f != 1 {
+		exec = time.Duration(float64(exec) * f)
+	}
+	return exec
 }
 
 func localityFraction(jr *jobRun) float64 {

@@ -111,6 +111,143 @@ func TestConservationProperty(t *testing.T) {
 	}
 }
 
+// TestCombinedFaultInvariants piles every disruption the simulator can
+// produce onto one run — random machine failures, a rack outage, a token
+// contention window, mid-run runtime drift, speculation, and deadline
+// changes — and checks that the bookkeeping invariants survive and the run
+// replays bit-identically.
+func TestCombinedFaultInvariants(t *testing.T) {
+	build := func() (*Cluster, *Handle) {
+		t.Helper()
+		c, err := New(Config{
+			Machines:        8,
+			SlotsPerMachine: 3,
+			MachineMTBF:     3 * time.Minute,
+			MachineRecovery: stats.Point{V: time.Minute},
+			Seed:            42,
+			RackOutages: []RackOutage{
+				{At: 40 * time.Second, FirstMachine: 0, Machines: 3, Duration: 90 * time.Second},
+				{At: 70 * time.Second, FirstMachine: 2, Machines: 2, Duration: time.Minute},
+			},
+			Contention: []ContentionWindow{
+				{From: 50 * time.Second, To: 3 * time.Minute, Frac: 0.5},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := dag.NewBuilder("chaos").
+			Stage("map", 40).
+			Stage("reduce", 6).
+			Edge("map", "reduce", dag.AllToAll).
+			MustBuild()
+		p := profile.MustNew(job, []profile.StageProfile{
+			{Exec: stats.LognormalFromMedian(8*time.Second, 25*time.Second),
+				Queue: stats.Exponential{MeanValue: time.Second}, FailureProb: 0.05},
+			{Exec: stats.LognormalFromMedian(15*time.Second, 40*time.Second)},
+		})
+		bg := profile.MustNew(dag.NewBuilder("bg").Stage("work", 60).MustBuild(),
+			[]profile.StageProfile{{Exec: stats.Point{V: 20 * time.Second}}})
+		if _, err := c.Submit(JobConfig{Profile: bg, Guarantee: 4}); err != nil {
+			t.Fatal(err)
+		}
+		h, err := c.Submit(JobConfig{
+			Profile: p, Guarantee: 8, Deadline: 20 * time.Minute,
+			Tracked: true, Start: 20 * time.Second,
+			SpeculativeThreshold: 1.5,
+			Drifts: []StageDrift{
+				{At: 30 * time.Second, Stage: 0, Factor: 1.7},
+				{At: time.Minute, Stage: -1, Factor: 1.3},
+			},
+			DeadlineChanges: []DeadlineChange{
+				{At: 90 * time.Second, Deadline: 30 * time.Minute},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, h
+	}
+	run := func() Result {
+		c, h := build()
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return h.Result()
+	}
+	r := run()
+	tr := r.Trace
+	if tr == nil {
+		t.Fatal("no trace")
+	}
+	// No lost task, no double completion.
+	succ := map[[2]int]int{}
+	for _, e := range tr.Events {
+		if !e.Failed {
+			succ[[2]int{e.Stage, e.Task}]++
+		}
+	}
+	if len(succ) != 46 {
+		t.Fatalf("%d tasks completed, want 46", len(succ))
+	}
+	for key, n := range succ {
+		if n != 1 {
+			t.Fatalf("task %v completed %d times", key, n)
+		}
+	}
+	// Timestamps sane under every fault class at once; primary attempts of
+	// the same task strictly ordered (speculative duplicates share the
+	// primary's attempt number, so ordering applies per attempt number).
+	lastEnd := map[[3]int]time.Duration{}
+	for _, e := range tr.Events {
+		if e.Queued < 0 || e.Dispatched < e.Queued || e.Started < e.Dispatched || e.Ended < e.Started {
+			t.Fatalf("bad timestamps: %+v", e)
+		}
+		key := [3]int{e.Stage, e.Task, e.Attempt}
+		lastEnd[key] = e.Ended
+	}
+	// Barrier: reduces only dispatch after all 40 maps are done.
+	var mapDone time.Duration
+	for _, e := range tr.Events {
+		if e.Stage == 0 && !e.Failed && e.Ended > mapDone {
+			mapDone = e.Ended
+		}
+	}
+	for _, e := range tr.Events {
+		if e.Stage == 1 && e.Dispatched < mapDone {
+			t.Fatalf("reduce dispatched at %v before map stage finished at %v", e.Dispatched, mapDone)
+		}
+	}
+	// Token conservation: the allocation integral must charge the nominal
+	// guarantee trajectory (it is never negative and at least covers the
+	// successful guaranteed work recorded).
+	if r.AllocTokenSeconds <= 0 || r.UsedTokenSeconds <= 0 {
+		t.Fatalf("degenerate accounting: alloc=%v used=%v", r.AllocTokenSeconds, r.UsedTokenSeconds)
+	}
+	// The perturbations actually bit: evictions from the outages and
+	// duplicates from speculation.
+	if r.Evictions == 0 {
+		t.Error("combined-fault run recorded no evictions")
+	}
+	if r.Duplicates == 0 {
+		t.Error("combined-fault run recorded no speculative duplicates")
+	}
+	// Determinism: an identical second run replays bit-identically.
+	r2 := run()
+	if r.Completion != r2.Completion || r.Evictions != r2.Evictions ||
+		r.Duplicates != r2.Duplicates || r.AllocTokenSeconds != r2.AllocTokenSeconds {
+		t.Fatalf("combined-fault run not deterministic:\n%+v\n%+v", r, r2)
+	}
+	if len(tr.Events) != len(r2.Trace.Events) {
+		t.Fatalf("trace lengths diverged: %d vs %d", len(tr.Events), len(r2.Trace.Events))
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != r2.Trace.Events[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, tr.Events[i], r2.Trace.Events[i])
+		}
+	}
+}
+
 func TestNoSpareNeverExceedsGuarantee(t *testing.T) {
 	// A NoSpare job alone on an idle cluster must never run more tasks than
 	// its guarantee.

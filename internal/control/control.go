@@ -42,6 +42,12 @@ type Decision struct {
 	// Predicted is the policy's worst-case completion-time estimate
 	// T_t = elapsed + slack · C(p, granted), or 0 if not applicable.
 	Predicted time.Duration
+	// Mode names the guard-rail rung that produced the decision ("" for
+	// unguarded policies; see Guard).
+	Mode string
+	// Deviation is the guard's normalized misprediction score at this tick
+	// (0 for unguarded policies).
+	Deviation float64
 }
 
 // Policy decides a job's guaranteed token allocation at each control tick.
@@ -238,6 +244,32 @@ func (c *Controller) Decide(st model.State) Decision {
 	}
 	c.granted = g
 	return c.decision(st, raw)
+}
+
+// SetPredictor swaps the latency predictor mid-run, keeping the smoothing
+// and dead-zone state intact so the allocation trajectory stays continuous.
+// The guard-rail layer uses it to refresh a stale model or step down the
+// fallback chain.
+func (c *Controller) SetPredictor(p model.Predictor) { c.cfg.Predictor = p }
+
+// Predictor returns the predictor currently driving decisions.
+func (c *Controller) Predictor() model.Predictor { return c.cfg.Predictor }
+
+// Granted returns the allocation currently in force (0 before the first
+// decision).
+func (c *Controller) Granted() int { return c.granted }
+
+// Deadline returns the effective deadline derived from the utility curve's
+// knee (0 if the curve is not piecewise linear).
+func (c *Controller) Deadline() time.Duration { return c.deadline }
+
+// Candidates returns the ascending candidate allocation grid.
+func (c *Controller) Candidates() []int { return c.cfg.Candidates }
+
+// PredictAt returns the controller's completion-time estimate at the given
+// allocation: elapsed + slack · Remaining at the configured quantile.
+func (c *Controller) PredictAt(st model.State, a int) time.Duration {
+	return c.predictAt(st, a)
 }
 
 func (c *Controller) predictAt(st model.State, a int) time.Duration {

@@ -1,0 +1,544 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/trace"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// GuardMode is one rung of the guard's fallback ladder, ordered from most to
+// least model-dependent.
+type GuardMode int
+
+// The fallback chain: the precomputed C(p, a) table (possibly rebuilt from a
+// blended profile), online forward simulation on the blended profile, the
+// analytic Amdahl model, and finally the model-free max-allocation panic.
+const (
+	GuardPrimary GuardMode = iota
+	GuardOnlineSim
+	GuardAmdahl
+	GuardPanic
+)
+
+// String names the mode for decision logs and reports.
+func (m GuardMode) String() string {
+	switch m {
+	case GuardPrimary:
+		return "primary"
+	case GuardOnlineSim:
+		return "online-sim"
+	case GuardAmdahl:
+		return "amdahl"
+	case GuardPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// The guard-event kinds.
+const (
+	// GuardEventReprofile: model rebuilt in place from the blended profile.
+	GuardEventReprofile = "reprofile"
+	// GuardEventFallback: stepped down one rung of the ladder.
+	GuardEventFallback = "fallback"
+	// GuardEventPanic: entered max-allocation panic.
+	GuardEventPanic = "panic"
+	// GuardEventRecover: left panic, restored the previous rung.
+	GuardEventRecover = "recover"
+)
+
+// GuardEvent records one guard-rail transition for the decision log.
+type GuardEvent struct {
+	// At is the job's elapsed time when the transition happened.
+	At time.Duration
+	// Kind is one of the GuardEvent* constants.
+	Kind string
+	// From and To are the rungs before and after the transition (equal for
+	// "reprofile").
+	From, To GuardMode
+	// Deviation is the detector score that triggered the transition.
+	Deviation float64
+	// LiveSamples is the number of successful live task observations
+	// available at the time.
+	LiveSamples int
+}
+
+// GuardTuning holds the detector and re-profiling knobs. The zero value
+// gives the defaults.
+type GuardTuning struct {
+	// Window is the number of control ticks the deviation detector averages
+	// over (default 5).
+	Window int
+	// Threshold is the normalized misprediction score above which the model
+	// is declared stale (default 0.3). The score is the windowed mean of
+	// per-tick predicted-completion slip divided by wall time: 0 for a
+	// perfectly calibrated model, ~0.5 under a 2× runtime drift.
+	Threshold float64
+	// RebuildBackoff is the minimum elapsed time between model rebuilds, so
+	// refreshes cannot storm the control period (default 4 minutes).
+	RebuildBackoff time.Duration
+	// MinLiveSamples is the number of successful live task observations
+	// required before the prior profile is blended and a model rebuilt
+	// (default 20).
+	MinLiveSamples int
+	// BlendPriorWeight scales the prior profile's effective sample count in
+	// the blend (default 0.25: by the time the guard rebuilds, the detector
+	// has already proven the prior wrong, so live observations dominate).
+	BlendPriorWeight float64
+	// LiveWindow restricts the blend to live observations that completed
+	// within this much elapsed time before the rebuild (default 10 minutes;
+	// negative = unlimited). Recency weighting is what lets the blend track a
+	// regime change instead of averaging it away: after a mid-run drift the
+	// window soon holds only post-drift samples.
+	LiveWindow time.Duration
+	// DisableReprofile skips the in-place rebuild rung: staleness steps
+	// straight down the fallback chain.
+	DisableReprofile bool
+	// DisableFallback pins the guard to the primary rung: the detector and
+	// re-profiling still run, but the chain never steps down and never
+	// panics. Used to isolate the detector in experiments.
+	DisableFallback bool
+}
+
+func (t *GuardTuning) fill() {
+	if t.Window <= 0 {
+		t.Window = 5
+	}
+	if t.Threshold <= 0 {
+		t.Threshold = 0.3
+	}
+	if t.RebuildBackoff <= 0 {
+		t.RebuildBackoff = 4 * time.Minute
+	}
+	if t.MinLiveSamples <= 0 {
+		t.MinLiveSamples = 20
+	}
+	if t.BlendPriorWeight <= 0 {
+		t.BlendPriorWeight = 0.25
+	}
+	if t.LiveWindow == 0 {
+		t.LiveWindow = 10 * time.Minute
+	}
+}
+
+// GuardConfig wires a Guard around a Controller.
+type GuardConfig struct {
+	// Controller is the primary control loop (required). The guard swaps its
+	// predictor on re-profiles and fallbacks; smoothing state carries over.
+	Controller *Controller
+	// Prior is the profile the primary model was built from (required): the
+	// baseline that live observations are blended into.
+	Prior *profile.Profile
+	// RebuildPrimary rebuilds the primary predictor from a blended profile
+	// (e.g. the parallel C(p, a) rebuild). generation counts rebuilds so the
+	// callee can derive a fresh deterministic seed. Nil disables the
+	// re-profiling rung.
+	RebuildPrimary func(p *profile.Profile, generation int) (model.Predictor, error)
+	// NewOnlineSim builds the forward-simulation fallback predictor from a
+	// blended profile. Nil skips the rung (falls through to Amdahl).
+	NewOnlineSim func(p *profile.Profile, generation int) (model.Predictor, error)
+	// MaxAllocation is the panic grant (default: the controller's top
+	// candidate, i.e. the same token budget the rest of the chain can reach).
+	MaxAllocation int
+	// Tuning holds the detector and blending knobs.
+	Tuning GuardTuning
+}
+
+// Guard is the model-staleness guard-rail layer around the Jockey control
+// loop: a deviation detector scoring the predictor's forecasts against
+// observed progress, online re-profiling that blends live task observations
+// into the prior profile and rebuilds the model mid-run, and a graceful
+// fallback chain that steps down to simpler predictors — and ultimately a
+// max-allocation panic — when confidence is low and the deadline at risk.
+//
+// Guard implements Policy and is deterministic for a fixed seed: all inputs
+// (states, live events) arrive in event order and rebuild seeds derive from
+// a generation counter.
+type Guard struct {
+	cfg  GuardConfig
+	mode GuardMode
+	// preP panicFrom remember the rung to return to when panic clears.
+	panicFrom GuardMode
+
+	live       *trace.JobTrace
+	liveOK     int // successful (non-failed) events in live
+	slips      []float64
+	slipN      int // valid entries in slips (ring fill)
+	slipI      int // ring index
+	prevState  model.State
+	prevSet    bool
+	rebuilds   int // rebuilt-or-fallback predictor generations
+	reprofiles int
+	lastBuild  time.Duration
+	builtOnce  bool
+	stale      bool // latched: detector fired at least once on this rung
+	// alarm survives detector resets: once staleness fires it stays raised
+	// until predictions comfortably meet the deadline again, so rescue
+	// actions are not suspended while a freshly swapped model refills the
+	// detector window.
+	alarm bool
+	// recoverStreak counts consecutive panic ticks whose predictions meet
+	// the deadline; panic only clears after a full window of them, so noisy
+	// predictions cannot flap the grant (each flap demotes in-flight tasks
+	// to spare, exposing them to eviction).
+	recoverStreak int
+	events        []GuardEvent
+}
+
+// NewGuard builds the guard-rail layer. See GuardConfig.
+func NewGuard(cfg GuardConfig) (*Guard, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("control: GuardConfig.Controller is required")
+	}
+	if cfg.Prior == nil {
+		return nil, fmt.Errorf("control: GuardConfig.Prior is required")
+	}
+	cfg.Tuning.fill()
+	if cfg.MaxAllocation <= 0 {
+		cand := cfg.Controller.Candidates()
+		cfg.MaxAllocation = cand[len(cand)-1]
+	}
+	return &Guard{
+		cfg:   cfg,
+		live:  trace.New(cfg.Prior.Job.Name, cfg.Prior.Job.NumStages()),
+		slips: make([]float64, cfg.Tuning.Window),
+	}, nil
+}
+
+// Name implements Policy.
+func (g *Guard) Name() string { return "jockey-guarded" }
+
+// ChangeUtility implements Policy, delegating to the inner controller.
+func (g *Guard) ChangeUtility(u utility.Fn) { g.cfg.Controller.ChangeUtility(u) }
+
+// Mode returns the current rung of the fallback chain.
+func (g *Guard) Mode() GuardMode { return g.mode }
+
+// Events returns the transition log (reprofiles, fallbacks, panics).
+func (g *Guard) Events() []GuardEvent { return g.events }
+
+// Reprofiles returns how many in-place model rebuilds have happened.
+func (g *Guard) Reprofiles() int { return g.reprofiles }
+
+// ObserveTask ingests one completed task attempt from the running job. Wire
+// it to the cluster's JobConfig.OnTaskEvent so the guard can re-profile
+// online from the live trace.
+func (g *Guard) ObserveTask(e trace.TaskEvent) {
+	g.live.AddTask(e)
+	if !e.Failed {
+		g.liveOK++
+	}
+}
+
+// detectorQuantile is the remaining-time quantile the deviation detector
+// probes. The median is less noisy than the controller's worst-case
+// quantile, which jumps between reservoir extremes.
+const detectorQuantile = 0.5
+
+// observe scores the predictor's self-consistency over the last control
+// period: for a calibrated model, elapsed + Remaining is a martingale, so
+// the per-tick slip ((T_t − T_{t−1}) / Δt, both evaluated under the same
+// allocation) should hover around zero. Persistent positive slip means the
+// model underestimates remaining work (runtime drift, outages, contention);
+// negative slip means it overestimates (input shrank). Probing both states
+// under the current grant isolates model error from control actions.
+func (g *Guard) observe(st model.State) float64 {
+	defer func() {
+		g.prevState = model.State{Elapsed: st.Elapsed, FracDone: append([]float64(nil), st.FracDone...)}
+		g.prevSet = true
+	}()
+	if !g.prevSet {
+		return g.score()
+	}
+	dt := st.Elapsed - g.prevState.Elapsed
+	if dt <= 0 {
+		return g.score()
+	}
+	a := g.cfg.Controller.Granted()
+	if a < 1 {
+		a = 1
+	}
+	pred := g.cfg.Controller.Predictor()
+	tNow := st.Elapsed + pred.Remaining(st, a, detectorQuantile)
+	tPrev := g.prevState.Elapsed + pred.Remaining(g.prevState, a, detectorQuantile)
+	slip := float64(tNow-tPrev) / float64(dt)
+	g.slips[g.slipI] = slip
+	g.slipI = (g.slipI + 1) % len(g.slips)
+	if g.slipN < len(g.slips) {
+		g.slipN++
+	}
+	return g.score()
+}
+
+// score returns |windowed mean slip|, or 0 until the window has filled.
+func (g *Guard) score() float64 {
+	mean := g.signedScore()
+	if mean < 0 {
+		return -mean
+	}
+	return mean
+}
+
+// signedScore returns the windowed mean slip with its sign (positive =
+// completion receding, the model underestimates; negative = the model
+// overestimates), or 0 until the window has filled.
+func (g *Guard) signedScore() float64 {
+	if g.slipN < len(g.slips) {
+		return 0
+	}
+	var sum float64
+	for _, s := range g.slips[:g.slipN] {
+		sum += s
+	}
+	return sum / float64(g.slipN)
+}
+
+// resetDetector clears the slip window and state baseline, giving a freshly
+// swapped predictor an unbiased measurement.
+func (g *Guard) resetDetector() {
+	g.slipN, g.slipI = 0, 0
+	g.prevSet = false
+	g.stale = false
+}
+
+// recentLive returns the live trace restricted to the tuning's recency
+// window (events that completed within LiveWindow of now) and whether it
+// holds enough successful observations to blend.
+func (g *Guard) recentLive(now time.Duration) (*trace.JobTrace, bool) {
+	w := g.cfg.Tuning.LiveWindow
+	if w < 0 {
+		return g.live, g.liveOK >= g.cfg.Tuning.MinLiveSamples
+	}
+	cutoff := now - w
+	out := trace.New(g.live.JobName, g.live.NumStages)
+	ok := 0
+	for _, e := range g.live.Events {
+		if e.Ended < cutoff {
+			continue
+		}
+		out.AddTask(e)
+		if !e.Failed {
+			ok++
+		}
+	}
+	return out, ok >= g.cfg.Tuning.MinLiveSamples
+}
+
+// blended returns the prior profile with recent live observations blended
+// in, or the prior itself when too little recent data has accumulated.
+func (g *Guard) blended(now time.Duration) *profile.Profile {
+	live, ok := g.recentLive(now)
+	if !ok {
+		return g.cfg.Prior
+	}
+	p, err := profile.Blend(g.cfg.Prior, live, profile.BlendOptions{
+		PriorWeight: g.cfg.Tuning.BlendPriorWeight,
+		// Extrapolate an observed job-wide slowdown to the stages still ahead
+		// of the job: that is where most of the remaining time lives.
+		ScaleUnobserved: true,
+	})
+	if err != nil {
+		return g.cfg.Prior
+	}
+	return p
+}
+
+// deadlineAtRisk reports whether even the full token budget is predicted to
+// miss the deadline under the current (possibly degraded) model.
+func (g *Guard) deadlineAtRisk(st model.State) bool {
+	d := g.cfg.Controller.Deadline()
+	if d <= 0 {
+		return false
+	}
+	return g.cfg.Controller.PredictAt(st, g.cfg.MaxAllocation) > d
+}
+
+// maybeRebuild runs the re-profiling rung: blend live stats into the prior
+// and rebuild the current rung's predictor, rate-limited by the backoff.
+// It reports whether a rebuild happened.
+func (g *Guard) maybeRebuild(st model.State, score float64) bool {
+	if g.cfg.Tuning.DisableReprofile {
+		return false
+	}
+	if _, ok := g.recentLive(st.Elapsed); !ok {
+		return false
+	}
+	if g.builtOnce && st.Elapsed-g.lastBuild < g.cfg.Tuning.RebuildBackoff {
+		return false
+	}
+	var build func(p *profile.Profile, generation int) (model.Predictor, error)
+	switch g.mode {
+	case GuardPrimary:
+		build = g.cfg.RebuildPrimary
+	case GuardOnlineSim:
+		build = g.cfg.NewOnlineSim
+	case GuardAmdahl:
+		build = func(p *profile.Profile, _ int) (model.Predictor, error) {
+			return model.NewAmdahl(p), nil
+		}
+	}
+	if build == nil {
+		return false
+	}
+	g.rebuilds++
+	pred, err := build(g.blended(st.Elapsed), g.rebuilds)
+	if err != nil {
+		return false
+	}
+	g.cfg.Controller.SetPredictor(pred)
+	g.lastBuild = st.Elapsed
+	g.builtOnce = true
+	g.reprofiles++
+	g.logEvent(st, GuardEventReprofile, g.mode, g.mode, score)
+	g.resetDetector()
+	return true
+}
+
+// stepDown moves one rung down the fallback chain, building the next
+// predictor from the blended profile. It reports whether a step happened.
+func (g *Guard) stepDown(st model.State, score float64) bool {
+	from := g.mode
+	for next := g.mode + 1; next <= GuardAmdahl; next++ {
+		var pred model.Predictor
+		var err error
+		switch next {
+		case GuardOnlineSim:
+			if g.cfg.NewOnlineSim == nil {
+				continue
+			}
+			g.rebuilds++
+			pred, err = g.cfg.NewOnlineSim(g.blended(st.Elapsed), g.rebuilds)
+		case GuardAmdahl:
+			pred = model.NewAmdahl(g.blended(st.Elapsed))
+		}
+		if err != nil || pred == nil {
+			continue
+		}
+		g.cfg.Controller.SetPredictor(pred)
+		g.mode = next
+		g.lastBuild = st.Elapsed
+		g.builtOnce = true
+		g.logEvent(st, GuardEventFallback, from, next, score)
+		g.resetDetector()
+		return true
+	}
+	return false
+}
+
+func (g *Guard) logEvent(st model.State, kind string, from, to GuardMode, score float64) {
+	g.events = append(g.events, GuardEvent{
+		At:          st.Elapsed,
+		Kind:        kind,
+		From:        from,
+		To:          to,
+		Deviation:   score,
+		LiveSamples: g.liveOK,
+	})
+}
+
+// Decide implements Policy: run the deviation detector, walk the guard
+// ladder if the model has gone stale, then delegate to the controller.
+func (g *Guard) Decide(st model.State) Decision {
+	if g.mode == GuardPanic {
+		return g.panicDecision(st)
+	}
+	score := g.observe(st)
+	optimistic := g.signedScore() > g.cfg.Tuning.Threshold
+	if score > g.cfg.Tuning.Threshold {
+		g.stale = true
+		g.alarm = true
+	}
+	if g.stale && !g.cfg.Tuning.DisableFallback {
+		// Ladder: refresh the current rung's model first. Step down to a less
+		// profile-dependent rung only when the refresh is unavailable (no data
+		// yet, backoff, disabled) AND the model is still underestimating: a
+		// pessimistic model wastes tokens but cannot miss the deadline, so it
+		// only warrants a reprofile, never a downgrade.
+		if !g.maybeRebuild(st, score) && optimistic {
+			g.stepDown(st, score)
+		}
+	}
+	// Panic is orthogonal to the ladder: whenever confidence is low and even
+	// the full budget is predicted to miss, stop trusting models entirely.
+	if (g.stale || g.alarm) && !g.cfg.Tuning.DisableFallback && g.deadlineAtRisk(st) {
+		g.panicFrom = g.mode
+		g.recoverStreak = 0
+		g.logEvent(st, GuardEventPanic, g.mode, GuardPanic, score)
+		g.mode = GuardPanic
+		return g.panicDecision(st)
+	}
+	d := g.cfg.Controller.Decide(st)
+	if g.alarm && !g.cfg.Tuning.DisableFallback {
+		c := g.cfg.Controller
+		if dl := c.Deadline(); dl > 0 {
+			switch pred := c.PredictAt(st, d.Granted); {
+			case d.Raw > d.Granted && pred > dl:
+				// Urgency override: the model has been flagged stale and even
+				// the granted allocation is predicted to miss. Waiting out the
+				// hysteresis lag would burn deadline slack on a model known to
+				// be wrong, so jump straight to the raw allocation; smoothing
+				// resumes from there.
+				c.smoothed = float64(d.Raw)
+				c.granted = d.Raw
+				d.Granted = d.Raw
+				d.Predicted = c.PredictAt(st, d.Raw)
+			case pred+c.cfg.DeadZone <= dl:
+				// Predictions are comfortably inside the deadline again: stand
+				// down until the detector re-fires.
+				g.alarm = false
+			}
+		}
+	}
+	d.Mode = g.mode.String()
+	d.Deviation = score
+	return d
+}
+
+// panicDecision grants the full token budget and watches for recovery: once
+// the model predicts the deadline is met at the full budget with the dead
+// zone to spare for a full detector window of consecutive ticks, the guard
+// steps back to the rung it panicked from. The dwell requirement is what
+// keeps panic from flapping: a single optimistic prediction must not shed
+// tokens, because every release demotes in-flight tasks to spare where
+// competing guarantees can evict them mid-run.
+func (g *Guard) panicDecision(st model.State) Decision {
+	c := g.cfg.Controller
+	d := c.Deadline()
+	pred := c.PredictAt(st, g.cfg.MaxAllocation)
+	if d > 0 && pred+c.cfg.DeadZone <= d {
+		g.recoverStreak++
+	} else {
+		g.recoverStreak = 0
+	}
+	if g.recoverStreak >= g.cfg.Tuning.Window {
+		g.recoverStreak = 0
+		g.mode = g.panicFrom
+		g.logEvent(st, GuardEventRecover, GuardPanic, g.mode, 0)
+		g.resetDetector()
+		// Fall through to a normal decision on the restored rung, seeding the
+		// controller's smoothing at the panic grant so release is gradual.
+		c.smoothed = float64(g.cfg.MaxAllocation)
+		c.granted = g.cfg.MaxAllocation
+		dec := c.Decide(st)
+		dec.Mode = g.mode.String()
+		return dec
+	}
+	// Keep the controller's bookkeeping consistent with the forced grant.
+	c.started = true
+	c.smoothed = float64(g.cfg.MaxAllocation)
+	c.granted = g.cfg.MaxAllocation
+	dec := Decision{
+		Raw:       g.cfg.MaxAllocation,
+		Granted:   g.cfg.MaxAllocation,
+		Predicted: pred,
+		Mode:      GuardPanic.String(),
+	}
+	if prog, ok := c.cfg.Predictor.(interface{ Progress(model.State) float64 }); ok {
+		dec.Progress = prog.Progress(st)
+	}
+	return dec
+}

@@ -201,6 +201,65 @@ func (j *Jockey) PolicyWithUtility(u utility.Fn) (control.Policy, error) {
 	return control.NewController(j.controlConfig(j.cpa, u))
 }
 
+// GuardedPolicy wraps the full Jockey controller in the model-staleness
+// guard-rail layer (control.Guard): a deviation detector scoring the C(p, a)
+// model against observed progress, online re-profiling that blends live task
+// observations into the prior profile and rebuilds the table mid-run (the
+// parallel build, deterministic at any Options.Parallelism), and the
+// CPA → OnlineSim → Amdahl → max-allocation fallback chain. Wire the
+// returned guard's ObserveTask to cluster.JobConfig.OnTaskEvent so it sees
+// live task completions. The zero GuardTuning gives the defaults.
+func (j *Jockey) GuardedPolicy(deadline time.Duration, tuning control.GuardTuning) (*control.Guard, error) {
+	return j.GuardedPolicyWithUtility(utility.Deadline(deadline), tuning)
+}
+
+// GuardedPolicyWithUtility is GuardedPolicy with an explicit utility curve.
+func (j *Jockey) GuardedPolicyWithUtility(u utility.Fn, tuning control.GuardTuning) (*control.Guard, error) {
+	ctrl, err := control.NewController(j.controlConfig(j.cpa, u))
+	if err != nil {
+		return nil, err
+	}
+	return control.NewGuard(j.GuardConfig(ctrl, tuning))
+}
+
+// GuardConfig wires a caller-built controller (any knob combination) to this
+// runtime's prior profile and model-rebuild paths, ready for
+// control.NewGuard. Most callers use GuardedPolicy instead.
+func (j *Jockey) GuardConfig(ctrl *control.Controller, tuning control.GuardTuning) control.GuardConfig {
+	rebuild := func(p *profile.Profile, gen int) (model.Predictor, error) {
+		// Per-generation seeds keep rebuilds deterministic for a fixed
+		// Options.Seed no matter when staleness fires.
+		ind, err := BuildIndicator(j.opts.Indicator, p,
+			stats.DeriveSeed(j.opts.Seed, "guard-indicator", fmt.Sprint(gen)))
+		if err != nil {
+			return nil, err
+		}
+		return model.BuildCPA(p, ind, model.CPAConfig{
+			Allocs:       j.opts.AllocGrid,
+			RunsPerAlloc: j.opts.RunsPerAlloc,
+			SampleEvery:  j.opts.SampleEvery,
+			Seed:         stats.DeriveSeed(j.opts.Seed, "guard-cpa", fmt.Sprint(gen)),
+			Parallelism:  j.opts.Parallelism,
+		})
+	}
+	onlineSim := func(p *profile.Profile, gen int) (model.Predictor, error) {
+		os, err := model.NewOnlineSim(p, 0,
+			stats.DeriveSeed(j.opts.Seed, "guard-onlinesim", fmt.Sprint(gen)))
+		if err != nil {
+			return nil, err
+		}
+		os.SetParallelism(j.opts.Parallelism)
+		return os, nil
+	}
+	return control.GuardConfig{
+		Controller:     ctrl,
+		Prior:          j.p,
+		RebuildPrimary: rebuild,
+		NewOnlineSim:   onlineSim,
+		Tuning:         tuning,
+	}
+}
+
 // StaticPolicy returns the "Jockey w/o adaptation" baseline: the simulator
 // model picks one allocation up front and never adapts.
 func (j *Jockey) StaticPolicy(deadline time.Duration) (control.Policy, error) {

@@ -22,6 +22,7 @@ import (
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/trace"
 	"github.com/jockeysim/jockey/internal/utility"
 	"github.com/jockeysim/jockey/internal/workload"
 )
@@ -317,9 +318,27 @@ type SLORun struct {
 	// trained at scale 1.
 	InputScale      float64
 	DeadlineChanges []cluster.DeadlineChange
-	OnDecision      func(at time.Duration, d control.Decision)
-	OnSample        func(at time.Duration, st model.State)
+	// Guarded wraps the Jockey controller in the model-staleness guard-rail
+	// layer (control.Guard), fed live task events from the cluster. Only
+	// affects PolicyJockey.
+	Guarded bool
+	// GuardTuning tunes the guard when Guarded is set (zero = defaults).
+	GuardTuning control.GuardTuning
+	// Drifts injects per-stage runtime drift into the SLO job (offsets
+	// relative to job start, i.e. SLOJobStart on the cluster clock).
+	Drifts []cluster.StageDrift
+	// RackOutages and Contention perturb the whole cluster (offsets on the
+	// cluster clock; the SLO job arrives at SLOJobStart).
+	RackOutages []cluster.RackOutage
+	Contention  []cluster.ContentionWindow
+	OnDecision  func(at time.Duration, d control.Decision)
+	OnSample    func(at time.Duration, st model.State)
 }
+
+// SLOJobStart is when Env.Run submits the tracked SLO job: it arrives into a
+// cluster warmed up by 15 minutes of background load. Cluster-clock
+// perturbations (RackOutages, Contention) should be placed relative to it.
+const SLOJobStart = 15 * time.Minute
 
 // Outcome is the result of one run with derived metrics.
 type Outcome struct {
@@ -330,6 +349,23 @@ type Outcome struct {
 	// AboveOracle is the fraction of the allocation integral above the
 	// oracle's (§5.1's cluster-impact metric).
 	AboveOracle float64
+	// GuardEvents records the guard-rail transitions of a Guarded run
+	// (reprofiles, fallbacks, panics, recoveries); nil when unguarded.
+	GuardEvents []control.GuardEvent
+}
+
+// AllocChurn sums the absolute granted-allocation changes over a timeline —
+// the total reallocation the policy imposed on the cluster (token units).
+func AllocChurn(tl []trace.AllocPoint) int {
+	churn := 0
+	for i := 1; i < len(tl); i++ {
+		d := tl[i].Granted - tl[i-1].Granted
+		if d < 0 {
+			d = -d
+		}
+		churn += d
+	}
+	return churn
 }
 
 // buildPolicy constructs the policy for a run from the cached runtime.
@@ -351,6 +387,14 @@ func (e *Env) buildPolicy(r SLORun) (control.Policy, error) {
 	}
 	switch r.Policy {
 	case PolicyJockey:
+		if r.Guarded {
+			cfg.Predictor = jk.Model()
+			ctrl, err := control.NewController(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return control.NewGuard(jk.GuardConfig(ctrl, r.GuardTuning))
+		}
 		if r.Knobs.OnlinePredictor {
 			train, err := e.Training(r.Job)
 			if err != nil {
@@ -409,6 +453,8 @@ func (e *Env) Run(r SLORun) (Outcome, error) {
 		SlotsPerMachine: e.Slots,
 		MachineMTBF:     90 * time.Minute,
 		Seed:            stats.DeriveSeed(e.Seed, "run-cluster", r.Job, fmt.Sprint(r.Seed)),
+		RackOutages:     r.RackOutages,
+		Contention:      r.Contention,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -432,16 +478,23 @@ func (e *Env) Run(r SLORun) (Outcome, error) {
 			return Outcome{}, err
 		}
 	}
+	var onTask func(trace.TaskEvent)
+	if g, ok := pol.(*control.Guard); ok {
+		// The guard re-profiles online from the job's live task stream.
+		onTask = g.ObserveTask
+	}
 	h, err := c.Submit(cluster.JobConfig{
 		Profile:         ground,
 		Policy:          pol,
 		Deadline:        r.Deadline,
 		ControlPeriod:   r.Knobs.period(),
-		Start:           15 * time.Minute, // arrive into a warmed-up cluster
+		Start:           SLOJobStart, // arrive into a warmed-up cluster
 		Tracked:         true,
 		DeadlineChanges: r.DeadlineChanges,
+		Drifts:          r.Drifts,
 		OnDecision:      r.OnDecision,
 		OnSample:        r.OnSample,
+		OnTaskEvent:     onTask,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -451,6 +504,9 @@ func (e *Env) Run(r SLORun) (Outcome, error) {
 	}
 	res := h.Result()
 	out := Outcome{Result: res, Policy: r.Policy}
+	if g, ok := pol.(*control.Guard); ok {
+		out.GuardEvents = g.Events()
+	}
 	if res.Deadline > 0 {
 		out.RelCompletion = float64(res.Completion) / float64(res.Deadline)
 	}

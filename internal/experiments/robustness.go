@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/cluster"
+	"github.com/jockeysim/jockey/internal/control"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// RobustnessScenario is one cell of the perturbation grid: a set of faults
+// injected into every run of the cell. Drift offsets are relative to the SLO
+// job's start; outages and contention windows are on the cluster clock (the
+// SLO job arrives at SLOJobStart).
+type RobustnessScenario struct {
+	Name        string
+	Drifts      []cluster.StageDrift
+	RackOutages []cluster.RackOutage
+	Contention  []cluster.ContentionWindow
+}
+
+// DefaultRobustnessScenarios builds the grid used by the robustness
+// experiment, scaled to the job's deadline d:
+//
+//   - calm: no perturbation (the guard must not hurt the common case);
+//   - drift-2x: every stage's service times double 15% of the way to the
+//     deadline — the canonical stale-model fault (the profile was collected
+//     on healthy inputs, the run hits a skewed partition or slow dependency);
+//   - rack-outage: a third of the machines vanish for d/3;
+//   - contention: the scheduler honors only half the guarantee for the middle
+//     half of the run (a tenant surge under token contention, §2.4);
+//   - combined: all three at once, milder drift.
+func DefaultRobustnessScenarios(deadline time.Duration) []RobustnessScenario {
+	d := deadline
+	drift := func(factor float64, at time.Duration) []cluster.StageDrift {
+		return []cluster.StageDrift{{At: at, Stage: -1, Factor: factor}}
+	}
+	outage := []cluster.RackOutage{{
+		At:           SLOJobStart + d/3,
+		FirstMachine: 0,
+		Machines:     10,
+		Duration:     d / 3,
+	}}
+	contention := []cluster.ContentionWindow{{
+		From: SLOJobStart + d/4,
+		To:   SLOJobStart + 3*d/4,
+		Frac: 0.5,
+	}}
+	return []RobustnessScenario{
+		{Name: "calm"},
+		{Name: "drift-2x", Drifts: drift(2.0, time.Duration(0.15*float64(d)))},
+		{Name: "rack-outage", RackOutages: outage},
+		{Name: "contention", Contention: contention},
+		{Name: "combined",
+			Drifts:      drift(1.6, time.Duration(0.4*float64(d))),
+			RackOutages: outage,
+			Contention:  contention,
+		},
+	}
+}
+
+// robustnessVariant is one policy column of the grid.
+type robustnessVariant struct {
+	Name    string
+	Policy  PolicyKind
+	Guarded bool
+}
+
+// RobustnessVariants lists the compared policies: Jockey with and without the
+// guard-rail layer, plus the paper's Amdahl and max-allocation baselines.
+var RobustnessVariants = []robustnessVariant{
+	{Name: "jockey-guarded", Policy: PolicyJockey, Guarded: true},
+	{Name: "jockey", Policy: PolicyJockey},
+	{Name: string(PolicyAmdahl), Policy: PolicyAmdahl},
+	{Name: string(PolicyMax), Policy: PolicyMax},
+}
+
+// RobustnessRow aggregates one (scenario, policy) cell.
+type RobustnessRow struct {
+	Scenario  string
+	Policy    string
+	Runs, Met int
+	MeanRel   float64 // mean completion/deadline
+	MeanAbove float64 // mean allocation above oracle
+	MeanChurn float64 // mean Σ|Δgranted| per run, tokens
+	// Guard transition totals across the cell (guarded rows only).
+	Reprofiles, Fallbacks, Panics int
+}
+
+// MissRate is the fraction of runs that missed the deadline.
+func (r RobustnessRow) MissRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Runs-r.Met) / float64(r.Runs)
+}
+
+// RobustnessResult is the guard-rail robustness experiment: deadline-miss
+// rate and allocation churn across the perturbation grid.
+type RobustnessResult struct {
+	Job      string
+	Deadline time.Duration
+	Rows     []RobustnessRow
+}
+
+// Robustness runs the perturbation grid. Every variant in a (scenario, seed)
+// pair sees the identical cluster, background load and faults, so the
+// comparison is paired. Input scale is pinned to 1 so the injected faults are
+// the only source of model staleness.
+func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, error) {
+	if job == "" {
+		job = "B"
+	}
+	if seedsPerCell <= 0 {
+		seedsPerCell = 3
+	}
+	short, _, err := env.Deadlines(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &RobustnessResult{Job: job, Deadline: short}
+	for _, sc := range DefaultRobustnessScenarios(short) {
+		for _, v := range RobustnessVariants {
+			row := RobustnessRow{Scenario: sc.Name, Policy: v.Name}
+			var rels, aboves, churns []float64
+			for s := 0; s < seedsPerCell; s++ {
+				o, err := env.Run(SLORun{
+					Job:         job,
+					Deadline:    short,
+					Policy:      v.Policy,
+					Guarded:     v.Guarded,
+					Seed:        stats.DeriveSeed(env.Seed, "robust", job, sc.Name, fmt.Sprint(s)),
+					InputScale:  1,
+					Drifts:      sc.Drifts,
+					RackOutages: sc.RackOutages,
+					Contention:  sc.Contention,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.Runs++
+				if o.Met {
+					row.Met++
+				}
+				rels = append(rels, o.RelCompletion)
+				aboves = append(aboves, o.AboveOracle)
+				churns = append(churns, float64(AllocChurn(o.Trace.Timeline)))
+				for _, ev := range o.GuardEvents {
+					switch ev.Kind {
+					case control.GuardEventReprofile:
+						row.Reprofiles++
+					case control.GuardEventFallback:
+						row.Fallbacks++
+					case control.GuardEventPanic:
+						row.Panics++
+					}
+				}
+			}
+			row.MeanRel = stats.Mean(rels)
+			row.MeanAbove = stats.Mean(aboves)
+			row.MeanChurn = stats.Mean(churns)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the robustness grid.
+func (r *RobustnessResult) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scenario,
+			row.Policy,
+			fmt.Sprintf("%d/%d", row.Met, row.Runs),
+			pct(row.MissRate()),
+			fmt.Sprintf("%.2f", row.MeanRel),
+			pct(row.MeanAbove),
+			fmt.Sprintf("%.0f", row.MeanChurn),
+			fmt.Sprintf("%d/%d/%d", row.Reprofiles, row.Fallbacks, row.Panics),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Robustness: guard rails under injected faults (job %s, deadline %v)\n"+
+			"(guard column: reprofiles/fallbacks/panics across the cell)", r.Job, r.Deadline),
+		[]string{"scenario", "policy", "met", "miss", "rel", "above", "churn", "guard"},
+		rows)
+}

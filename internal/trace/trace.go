@@ -52,6 +52,8 @@ type AllocPoint struct {
 	Oracle    int           // oracle allocation ⌈T/d⌉ (green line)
 	Progress  float64       // progress-indicator value in [0, 1]
 	Predicted time.Duration // policy's completion-time estimate T_t at this sample
+	Mode      string        // guard-rail rung that produced the decision ("" if unguarded)
+	Deviation float64       // guard's misprediction score at this sample (0 if unguarded)
 }
 
 // JobTrace is the complete record of one job execution.
@@ -282,7 +284,7 @@ func (t *JobTrace) WriteEventsCSV(w io.Writer) error {
 // the paper's Fig. 6 plots).
 func (t *JobTrace) WriteTimelineCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"t_s", "raw", "granted", "running", "oracle", "progress", "predicted_s"}); err != nil {
+	if err := cw.Write([]string{"t_s", "raw", "granted", "running", "oracle", "progress", "predicted_s", "mode", "deviation"}); err != nil {
 		return err
 	}
 	for _, p := range t.Timeline {
@@ -292,6 +294,8 @@ func (t *JobTrace) WriteTimelineCSV(w io.Writer) error {
 			strconv.Itoa(p.Running), strconv.Itoa(p.Oracle),
 			fmt.Sprintf("%.4f", p.Progress),
 			fmt.Sprintf("%.1f", p.Predicted.Seconds()),
+			p.Mode,
+			fmt.Sprintf("%.4f", p.Deviation),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

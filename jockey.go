@@ -195,6 +195,39 @@ func NewMaxAllocationPolicy(tokens int) (Policy, error) {
 	return control.NewMaxAllocation(tokens)
 }
 
+// Model-staleness guard rails (package internal/control). Jockey.GuardedPolicy
+// builds a ready-wired Guard for a profiled job; these aliases let callers
+// tune it or assemble one from custom parts.
+type (
+	// Guard wraps a controller with deviation detection, online
+	// re-profiling and the CPA → OnlineSim → Amdahl → max-allocation
+	// fallback chain. Wire Guard.ObserveTask to JobConfig.OnTaskEvent.
+	Guard = control.Guard
+	// GuardTuning holds the guard's knobs; the zero value gives defaults.
+	GuardTuning = control.GuardTuning
+	// GuardConfig assembles a Guard from custom parts (see
+	// Jockey.GuardConfig for the ready-wired path).
+	GuardConfig = control.GuardConfig
+	// GuardEvent is one logged guard transition (reprofile, fallback,
+	// panic, recover).
+	GuardEvent = control.GuardEvent
+	// GuardMode is a rung of the fallback chain.
+	GuardMode = control.GuardMode
+	// BlendOptions tunes BlendProfiles.
+	BlendOptions = profile.BlendOptions
+)
+
+// NewGuard builds the guard-rail layer around a controller; most callers use
+// Jockey.GuardedPolicy instead.
+func NewGuard(cfg GuardConfig) (*Guard, error) { return control.NewGuard(cfg) }
+
+// BlendProfiles merges live task observations into a prior profile,
+// count-weighted — the data path of online re-profiling, usable standalone
+// for profile refresh between recurring runs.
+func BlendProfiles(prior *Profile, live *JobTrace, opts BlendOptions) (*Profile, error) {
+	return profile.Blend(prior, live, opts)
+}
+
 // Utility curves (package internal/utility).
 type (
 	// UtilityFn maps completion time to economic utility.
@@ -225,6 +258,14 @@ type (
 	Result = cluster.Result
 	// DeadlineChange reschedules a job's SLO mid-run.
 	DeadlineChange = cluster.DeadlineChange
+	// StageDrift injects a mid-run service-time drift (ClusterConfig or
+	// JobConfig perturbations).
+	StageDrift = cluster.StageDrift
+	// RackOutage takes a contiguous machine range down for a while.
+	RackOutage = cluster.RackOutage
+	// ContentionWindow caps the fraction of guaranteed tokens the
+	// scheduler honors during a window.
+	ContentionWindow = cluster.ContentionWindow
 )
 
 // NewCluster creates a shared-cluster simulator.

@@ -1,0 +1,88 @@
+// Command jockeyvet is the repository's determinism-contract checker: a
+// vet tool with five repo-specific analyzers (walltime, globalrand,
+// maporder, panicpath, errctx — see the README table in this directory and
+// the "Determinism contract" section of DESIGN.md).
+//
+// It speaks the `go vet -vettool` unit protocol, so the canonical
+// invocation is
+//
+//	go build -o bin/jockeyvet ./cmd/jockeyvet
+//	go vet -vettool=$PWD/bin/jockeyvet ./...
+//
+// Run directly with package patterns it re-execs itself through go vet, so
+// `jockeyvet ./...` is equivalent. A finding is suppressed only by fixing
+// it or by an explicit, reasoned escape hatch on the offending line:
+//
+//	//jockeyvet:ignore <reason the rule does not apply here>
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/jockeysim/jockey/internal/vet"
+	"github.com/jockeysim/jockey/internal/vet/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command's vettool handshake: version probe, flag enumeration,
+	// then one invocation per compilation unit with a vet.cfg path.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println("jockeyvet version 1")
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	jsonOut := false
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vet.RunUnit(args[0], jsonOut, rules.All())
+	}
+
+	if len(args) > 0 && args[0] == "help" {
+		help()
+		return 0
+	}
+
+	// Standalone mode: `jockeyvet ./...` re-execs through go vet, which
+	// handles package loading, export data, and test variants.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jockeyvet: locating own binary: %v\n", err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func help() {
+	fmt.Println("jockeyvet — determinism-contract analyzers")
+	fmt.Println()
+	for _, a := range rules.All() {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nSuppress one line with a reasoned directive: //jockeyvet:ignore <reason>")
+}

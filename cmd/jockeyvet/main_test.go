@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles jockeyvet once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "jockeyvet")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building jockeyvet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule lays out a throwaway module so `go vet -vettool` runs the
+// full unit protocol against controlled sources.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpvet\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func govet(t *testing.T, tool, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestVettoolReportsViolations(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"sim/sim.go": `package sim
+
+import "time"
+
+func Step() time.Time { return time.Now() }
+`,
+	})
+	out, code := govet(t, tool, dir)
+	if code == 0 {
+		t.Fatalf("go vet exited 0 on a walltime violation:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now reads the wall clock") {
+		t.Fatalf("missing walltime diagnostic:\n%s", out)
+	}
+}
+
+func TestVettoolHonorsIgnoreDirective(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"sim/sim.go": `package sim
+
+import "time"
+
+func Step() time.Time {
+	return time.Now() //jockeyvet:ignore integration-test fixture
+}
+`,
+	})
+	out, code := govet(t, tool, dir)
+	if code != 0 {
+		t.Fatalf("go vet exited %d despite a reasoned ignore:\n%s", code, out)
+	}
+}
+
+// TestRepositoryIsClean is the acceptance check: the whole tree must satisfy
+// the determinism contract. CI runs the same invocation as a build gate;
+// this test keeps it enforced for plain `go test ./...` runs too.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide vet is not short")
+	}
+	tool := buildTool(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := govet(t, tool, root)
+	if code != 0 {
+		t.Fatalf("jockeyvet found violations in the repository:\n%s", out)
+	}
+}

@@ -366,18 +366,18 @@ func (c *Cluster) Submit(cfg JobConfig) (*Handle, error) {
 		return nil, fmt.Errorf("cluster: JobConfig.Profile is required")
 	}
 	if cfg.Guarantee < 0 {
-		return nil, fmt.Errorf("cluster: negative guarantee %d", cfg.Guarantee)
+		return nil, fmt.Errorf("cluster: job %q has negative guarantee %d", cfg.Profile.Job.Name, cfg.Guarantee)
 	}
 	if cfg.Policy == nil && cfg.Guarantee == 0 {
 		return nil, fmt.Errorf("cluster: job %q has neither a policy nor a fixed guarantee",
 			cfg.Profile.Job.Name)
 	}
 	if cfg.SpeculativeThreshold != 0 && cfg.SpeculativeThreshold < 1 {
-		return nil, fmt.Errorf("cluster: speculative threshold %v must be >= 1 (or 0 to disable)",
-			cfg.SpeculativeThreshold)
+		return nil, fmt.Errorf("cluster: job %q speculative threshold %v must be >= 1 (or 0 to disable)",
+			cfg.Profile.Job.Name, cfg.SpeculativeThreshold)
 	}
 	if cfg.Weight < 0 {
-		return nil, fmt.Errorf("cluster: negative weight %d", cfg.Weight)
+		return nil, fmt.Errorf("cluster: job %q has negative weight %d", cfg.Profile.Job.Name, cfg.Weight)
 	}
 	if cfg.Weight == 0 {
 		cfg.Weight = 1
@@ -390,19 +390,20 @@ func (c *Cluster) Submit(cfg JobConfig) (*Handle, error) {
 	}
 	for i, dc := range cfg.DeadlineChanges {
 		if dc.At < 0 || dc.Deadline <= 0 {
-			return nil, fmt.Errorf("cluster: deadline change %d needs At >= 0 and Deadline > 0, got At=%v Deadline=%v",
-				i, dc.At, dc.Deadline)
+			return nil, fmt.Errorf("cluster: job %q deadline change %d needs At >= 0 and Deadline > 0, got At=%v Deadline=%v",
+				cfg.Profile.Job.Name, i, dc.At, dc.Deadline)
 		}
 		if i > 0 && dc.At < cfg.DeadlineChanges[i-1].At {
-			return nil, fmt.Errorf("cluster: deadline changes must be sorted by time")
+			return nil, fmt.Errorf("cluster: job %q deadline change %d at %v precedes change %d at %v; changes must be sorted by time",
+				cfg.Profile.Job.Name, i, dc.At, i-1, cfg.DeadlineChanges[i-1].At)
 		}
 	}
 	for i, d := range cfg.Drifts {
 		if d.At < 0 {
-			return nil, fmt.Errorf("cluster: drift %d has negative time %v", i, d.At)
+			return nil, fmt.Errorf("cluster: job %q drift %d has negative time %v", cfg.Profile.Job.Name, i, d.At)
 		}
 		if d.Factor <= 0 {
-			return nil, fmt.Errorf("cluster: drift %d has non-positive factor %v", i, d.Factor)
+			return nil, fmt.Errorf("cluster: job %q drift %d has non-positive factor %v", cfg.Profile.Job.Name, i, d.Factor)
 		}
 		if d.Stage < -1 || d.Stage >= cfg.Profile.Job.NumStages() {
 			return nil, fmt.Errorf("cluster: drift %d references stage %d, job %q has %d stages",

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/stats"
 	"github.com/jockeysim/jockey/internal/trace"
@@ -617,12 +618,9 @@ func (c *Cluster) reclassify() {
 		for _, rt := range jr.running {
 			tasks = append(tasks, rt)
 		}
-		// Deterministic order: by start time, then position.
-		for i := 1; i < len(tasks); i++ {
-			for j := i; j > 0 && lessTask(tasks[j], tasks[j-1]); j-- {
-				tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
-			}
-		}
+		// Deterministic order despite the map walk: lessTask is a total
+		// order (start time, then stage/task position, which is unique).
+		sort.Slice(tasks, func(i, j int) bool { return lessTask(tasks[i], tasks[j]) })
 		eff := c.effectiveGuarantee(jr)
 		for i, rt := range tasks {
 			rt.guaranteed = i < eff
@@ -759,9 +757,7 @@ func (c *Cluster) dispatchSpare() {
 			continue
 		}
 		idle++
-		if idle > 1<<20 {
-			panic("cluster: spare dispatch runaway")
-		}
+		invariant.Assertf(idle <= 1<<20, "cluster: spare dispatch runaway at t=%v (machine %d)", c.now, mi)
 	}
 }
 

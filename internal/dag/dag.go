@@ -18,6 +18,8 @@ package dag
 import (
 	"fmt"
 	"sort"
+
+	"github.com/jockeysim/jockey/internal/invariant"
 	"time"
 )
 
@@ -182,9 +184,7 @@ func (b *Builder) Build() (*Job, error) {
 // MustBuild is Build that panics on error, for static plan definitions.
 func (b *Builder) MustBuild() *Job {
 	j, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
+	invariant.NoErr(err, "dag: MustBuild on a static plan definition")
 	return j
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/jockeysim/jockey/internal/cluster"
 	"github.com/jockeysim/jockey/internal/core"
+	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/stats"
 	"github.com/jockeysim/jockey/internal/workload"
@@ -133,9 +134,8 @@ func AdmissionControl(env *Env, offers int) (*ExtensionE2, error) {
 
 func mustGround(env *Env, job string) *profile.Profile {
 	p, err := env.Ground(job)
-	if err != nil {
-		panic(err) // jobs come from the fixed Table 2 set; Ground cannot fail here
-	}
+	// Jobs come from the fixed Table 2 set; Ground cannot fail here.
+	invariant.NoErr(err, "experiments: Ground(%q) on the fixed Table 2 set", job)
 	return p
 }
 

@@ -1,0 +1,56 @@
+// Package invariant is the single sanctioned panic path for the library
+// packages. The determinism contract (DESIGN.md, "Determinism contract")
+// forbids bare panic calls outside this package — the jockeyvet panicpath
+// analyzer enforces that — so every internal invariant failure funnels
+// through here and always carries enough context to identify the job,
+// stage, or value that violated it.
+//
+// These helpers are for programming errors ("cannot happen" states and
+// misuse of Must* constructors), not for recoverable conditions: anything a
+// caller could reasonably handle must be a returned error instead.
+package invariant
+
+import "fmt"
+
+// Violation is the value carried by every panic raised from this package.
+// Recovery code can detect internal invariant failures with
+// errors.As(recover().(error), *(*Violation)) style checks, and the wrapped
+// cause (if any) stays inspectable via Unwrap.
+type Violation struct {
+	// Msg describes the violated invariant, with context formatted in.
+	Msg string
+	// Err is the underlying error for NoErr violations, nil otherwise.
+	Err error
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	if v.Err != nil {
+		return v.Msg + ": " + v.Err.Error()
+	}
+	return v.Msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/errors.As.
+func (v *Violation) Unwrap() error { return v.Err }
+
+// Assertf panics with a *Violation when cond is false. The format string
+// must carry the identity of whatever violated the invariant (job, stage,
+// value); a zero-argument call costs nothing beyond the condition check.
+func Assertf(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// NoErr panics with a *Violation wrapping err when err is non-nil. It is
+// the Must* constructor escape hatch: use it where an error return is
+// impossible by construction and an error therefore means a bug in the
+// caller.
+func NoErr(err error, format string, args ...any) {
+	if err == nil {
+		return
+	}
+	panic(&Violation{Msg: fmt.Sprintf(format, args...), Err: err})
+}

@@ -1,0 +1,53 @@
+package invariant
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustPanic(t *testing.T, f func()) *Violation {
+	t.Helper()
+	var v *Violation
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a panic")
+			}
+			var ok bool
+			v, ok = r.(*Violation)
+			if !ok {
+				t.Fatalf("panic value is %T, want *Violation", r)
+			}
+		}()
+		f()
+	}()
+	return v
+}
+
+func TestAssertfHolds(t *testing.T) {
+	Assertf(true, "never evaluated %d", 42) // must not panic
+}
+
+func TestAssertfViolated(t *testing.T) {
+	v := mustPanic(t, func() { Assertf(false, "stage %q out of range %d", "s03", 7) })
+	if got, want := v.Error(), `stage "s03" out of range 7`; got != want {
+		t.Errorf("message %q, want %q", got, want)
+	}
+	if v.Err != nil {
+		t.Errorf("Assertf violation carries err %v, want nil", v.Err)
+	}
+}
+
+func TestNoErr(t *testing.T) {
+	NoErr(nil, "never evaluated") // must not panic
+
+	cause := errors.New("boom")
+	v := mustPanic(t, func() { NoErr(cause, "building job %q", "A") })
+	if !errors.Is(v, cause) {
+		t.Errorf("violation does not unwrap to its cause")
+	}
+	if got, want := v.Error(), `building job "A": boom`; got != want {
+		t.Errorf("message %q, want %q", got, want)
+	}
+}

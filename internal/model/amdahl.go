@@ -39,6 +39,9 @@ func (m *Amdahl) Estimate(fs []float64, a int) time.Duration {
 	}
 	st := progress.RemainingCriticalPath(m.p, fs)
 	var pt time.Duration
+	// Stages is a slice, so this float accumulation runs in stage-index
+	// order every time; keep it that way — a map here would make P_t
+	// depend on iteration order (see TestAmdahlBitIdenticalAcrossConstructions).
 	for s, sp := range m.p.Stages {
 		f := 0.0
 		if fs != nil && s < len(fs) {

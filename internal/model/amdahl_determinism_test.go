@@ -1,0 +1,54 @@
+package model_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/workload"
+)
+
+// TestAmdahlBitIdenticalAcrossConstructions locks in the determinism
+// contract for the analytic predictor: rebuilding the same profile from
+// scratch and re-running the estimator must reproduce every prediction
+// bit for bit. Profile.Stages is a slice, so the Estimate loop in
+// amdahl.go walks stages in index order with no map-iteration hazard;
+// this test keeps that property from regressing if the profile
+// representation ever changes.
+func TestAmdahlBitIdenticalAcrossConstructions(t *testing.T) {
+	const seed = 42
+	allocs := []int{1, 5, 30, 110, 400}
+	fracs := []float64{0, 0.25, 0.5, 0.9, 1}
+
+	predict := func(spec workload.JobSpec) map[string]time.Duration {
+		p := workload.MustGenerate(spec, seed)
+		m := model.NewAmdahl(p)
+		out := make(map[string]time.Duration)
+		for _, a := range allocs {
+			for _, f := range fracs {
+				fs := make([]float64, len(p.Stages))
+				for i := range fs {
+					fs[i] = f
+				}
+				out[fmt.Sprintf("%s/a=%d/f=%g", spec.Name, a, f)] = m.Estimate(fs, a)
+			}
+		}
+		return out
+	}
+
+	for _, spec := range workload.TableTwo {
+		first := predict(spec)
+		for round := 0; round < 3; round++ {
+			again := predict(spec)
+			if len(again) != len(first) {
+				t.Fatalf("%s: prediction count changed across constructions: %d vs %d", spec.Name, len(again), len(first))
+			}
+			for k, v := range first {
+				if again[k] != v {
+					t.Fatalf("%s round %d: prediction %s drifted: %v vs %v", spec.Name, round, k, again[k], v)
+				}
+			}
+		}
+	}
+}

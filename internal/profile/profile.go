@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/stats"
 	"github.com/jockeysim/jockey/internal/trace"
 )
@@ -94,9 +95,7 @@ func New(job *dag.Job, stages []StageProfile) (*Profile, error) {
 // MustNew is New that panics on error, for static definitions.
 func MustNew(job *dag.Job, stages []StageProfile) *Profile {
 	p, err := New(job, stages)
-	if err != nil {
-		panic(err)
-	}
+	invariant.NoErr(err, "profile: MustNew on a static definition")
 	return p
 }
 
@@ -172,9 +171,7 @@ func (p *Profile) LongestPathAfter() []time.Duration {
 // larger input. Queueing distributions and failure probabilities are
 // unchanged.
 func (p *Profile) Scale(factor float64) *Profile {
-	if factor <= 0 {
-		panic(fmt.Sprintf("profile: non-positive scale factor %v", factor))
-	}
+	invariant.Assertf(factor > 0, "profile: Scale(%v) of job %q needs a positive factor", factor, p.Job.Name)
 	stages := make([]StageProfile, len(p.Stages))
 	for i, sp := range p.Stages {
 		stages[i] = StageProfile{

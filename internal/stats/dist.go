@@ -6,6 +6,8 @@ import (
 	"math/rand/v2"
 	"sort"
 	"time"
+
+	"github.com/jockeysim/jockey/internal/invariant"
 )
 
 // Distribution models a probability distribution over durations. Task service
@@ -203,9 +205,7 @@ type Empirical struct {
 // It copies and sorts the input. It panics if samples is empty, because an
 // empirical distribution of nothing is a programming error in the caller.
 func NewEmpirical(samples []time.Duration) *Empirical {
-	if len(samples) == 0 {
-		panic("stats: NewEmpirical with no samples")
-	}
+	invariant.Assertf(len(samples) > 0, "stats: NewEmpirical with no samples")
 	s := make([]time.Duration, len(samples))
 	copy(s, samples)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })

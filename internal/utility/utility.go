@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/jockeysim/jockey/internal/invariant"
 )
 
 // Fn maps a job completion time to its utility.
@@ -56,9 +58,7 @@ func Deadline(d time.Duration) *PiecewiseLinear {
 		{T: d + 10*time.Minute, U: -1},
 		{T: d + 1000*time.Minute, U: -1000},
 	})
-	if err != nil {
-		panic(err) // unreachable: points are distinct for any d >= 0
-	}
+	invariant.NoErr(err, "utility: Deadline(%v) built an invalid curve", d) // unreachable: points are distinct for any d >= 0
 	return pl
 }
 
@@ -74,9 +74,7 @@ func SoftDeadline(d, grace time.Duration) *PiecewiseLinear {
 		{T: d, U: 1},
 		{T: d + grace, U: 0},
 	})
-	if err != nil {
-		panic(err)
-	}
+	invariant.NoErr(err, "utility: SoftDeadline(%v, %v) built an invalid curve", d, grace)
 	return pl
 }
 

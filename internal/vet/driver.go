@@ -1,0 +1,156 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+)
+
+// unitConfig is the JSON the go command writes for each `go vet -vettool`
+// compilation unit (the x/tools unitchecker Config, reproduced here because
+// the protocol is the contract with cmd/go, not with x/tools).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes one compilation unit described by cfgPath and returns the
+// process exit code: 0 clean, 1 broken invocation or typecheck failure, 2
+// diagnostics found. jsonOut selects the machine-readable protocol used by
+// `go vet -json`.
+func RunUnit(cfgPath string, jsonOut bool, analyzers []*Analyzer) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jockeyvet: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "jockeyvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command invokes the tool once per dependency with VetxOnly set,
+	// expecting only the serialized-facts side file. The suite exports no
+	// facts, so dependencies need no analysis — but the output file must
+	// exist for the build cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("jockeyvet\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "jockeyvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, goarch()),
+		GoVersion: version.Lang(cfg.GoVersion),
+	}
+	info := NewInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "jockeyvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := Check(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		// The `go vet -json` unit protocol: {"pkgid": {"analyzer": [diag]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    d.Position.String(),
+				Message: d.Message,
+			})
+		}
+		out, _ := json.MarshalIndent(map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}, "", "\t")
+		fmt.Printf("%s\n", out)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", cfg.ID)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	return 2
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,195 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+// errCtxPackages are the packages (by final import-path segment) whose
+// errors routinely cross package boundaries into the facade and the
+// experiment harness, where "which job? which stage?" is the first question.
+var errCtxPackages = map[string]bool{
+	"cluster": true,
+	"control": true,
+}
+
+// ErrCtx enforces the error-identity discipline in internal/cluster and
+// internal/control (extending PR 2's "job names in cluster.Run errors" to a
+// checked rule):
+//
+//  1. every fmt.Errorf format starts with the "<pkg>: " origin prefix;
+//  2. an error-typed argument to fmt.Errorf must be wrapped with %w, so the
+//     cause survives errors.Is/As across the boundary;
+//  3. an error obtained from a call into another package may not be
+//     returned bare — wrap it with %w plus the job/stage identity;
+//  4. errors.New is banned: these packages always have identity to attach,
+//     so fmt.Errorf with context is the floor.
+var ErrCtx = &vet.Analyzer{
+	Name: "errctx",
+	Doc:  "errors in internal/cluster and internal/control must carry the origin prefix, wrap causes with %w, and never propagate foreign errors bare",
+	Run:  runErrCtx,
+}
+
+func runErrCtx(p *vet.Pass) error {
+	if !errCtxPackages[vet.PkgName(p.Pkg.Path())] {
+		return nil
+	}
+	prefix := p.Pkg.Name() + ": "
+	for _, f := range p.Files {
+		if vet.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncRef(p, sel, "errors"); ok && name == "New" {
+				p.Reportf(call.Pos(), "errors.New loses identity; use fmt.Errorf(%q...) with the job/stage context", prefix)
+				return true
+			}
+			if name, ok := pkgFuncRef(p, sel, "fmt"); ok && name == "Errorf" {
+				checkErrorf(p, call, prefix)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBareForeignReturns(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(p *vet.Pass, call *ast.CallExpr, prefix string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return // non-literal formats are rare and un-checkable; let them be
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !strings.HasPrefix(format, prefix) {
+		p.Reportf(lit.Pos(), "error message %q must identify its origin: start with %q", format, prefix)
+	}
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := p.Info.TypeOf(arg); t != nil && isErrorType(t) {
+			p.Reportf(arg.Pos(), "error argument formatted without %%w loses the cause across the package boundary; wrap it")
+		}
+	}
+}
+
+// checkBareForeignReturns flags `return err` where err came from a call into
+// a different package: the error crosses two boundaries with no local
+// context attached.
+func checkBareForeignReturns(p *vet.Pass, body *ast.BlockStmt) {
+	// Flow-insensitive taint: error vars assigned from cross-package calls.
+	foreign := map[types.Object]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		crossPkg := calleeForeign(p, call)
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			if crossPkg {
+				foreign[obj] = call.Fun
+			} else {
+				delete(foreign, obj) // reassigned locally: taint cleared
+			}
+		}
+		return true
+	})
+	if len(foreign) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			id, ok := res.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if from, tainted := foreign[p.Info.ObjectOf(id)]; tainted {
+				p.Reportf(res.Pos(), "error from %s returned bare; wrap it: fmt.Errorf(\"%s: <job/stage identity>: %%w\", ..., %s)",
+					exprString(from), p.Pkg.Name(), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// calleeForeign reports whether the call's static callee is a function or
+// method declared in a package other than the one under analysis.
+func calleeForeign(p *vet.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fn.Sel]
+	default:
+		return false
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false // builtin, conversion, or local function value
+	}
+	return f.Pkg() != p.Pkg
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	default:
+		return "call"
+	}
+}

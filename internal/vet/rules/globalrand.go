@@ -1,0 +1,95 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// randConstructors build explicitly seeded generators and are the only
+// package-level rand functions allowed: everything else consults the
+// process-global source, whose stream depends on what every other goroutine
+// has consumed — the antithesis of the per-coordinate SplitMix seeding
+// discipline (stats.NewRNG / stats.DeriveSeed).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// GlobalRand bans the global math/rand source repo-wide (tests included —
+// a test drawing from the global stream is exactly the flaky determinism
+// regression this suite exists to prevent) and bans seeding any generator
+// from the wall clock. Randomness must flow through stats.NewRNG with a
+// seed derived from coordinates.
+var GlobalRand = &vet.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions and time-seeded sources; use an explicitly seeded stats.RNG",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *vet.Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, rp := range randPkgs {
+				name, ok := pkgFuncRef(p, sel, rp)
+				if !ok {
+					continue
+				}
+				if !randConstructors[name] {
+					p.Reportf(sel.Pos(), "%s.%s uses the process-global random source; derive a seeded generator with stats.NewRNG instead", rp, name)
+				}
+				return true
+			}
+			return true
+		})
+		// Independently, a constructor seeded from the wall clock is as
+		// irreproducible as the global source. Nested constructors
+		// (rand.New(rand.NewSource(...))) see the same seed expression, so
+		// dedupe reports by position.
+		reported := map[token.Pos]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			constructor := false
+			for _, rp := range randPkgs {
+				if name, ok := pkgFuncRef(p, sel, rp); ok && randConstructors[name] {
+					constructor = true
+				}
+			}
+			if !constructor {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					argSel, ok := m.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if name, ok := pkgFuncRef(p, argSel, "time"); ok && wallClockFuncs[name] && !reported[argSel.Pos()] {
+						reported[argSel.Pos()] = true
+						p.Reportf(argSel.Pos(), "random source seeded from time.%s is irreproducible; derive the seed from coordinates (stats.DeriveSeed)", name)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+// MapOrder flags range-over-map loops whose body has an order-dependent
+// effect: appending to a slice declared outside the loop, accumulating into
+// a float (float addition does not commute bit-for-bit), writing output, or
+// sending on a channel. Go randomizes map iteration order per range, so any
+// such loop produces run-to-run different bits — the amdahl-class hazard.
+//
+// The canonical fix is to collect the keys and sort them first. The
+// collect-then-sort idiom itself is recognized: a loop that only appends to
+// a slice which the same function later passes to sort.* / slices.Sort* is
+// not flagged. Commutative effects (integer sums, counters, min/max over
+// ints, writes into another map) are allowed.
+var MapOrder = &vet.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent effects (append, float accumulation, output, channel send) inside range-over-map loops; iterate sorted keys",
+	Run:  runMapOrder,
+}
+
+// outputMethods are method / function names that emit ordered output.
+var outputMethods = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapOrder(p *vet.Pass) error {
+	for _, f := range p.Files {
+		// Examine each function so the sorted-later exemption can see the
+		// statements that follow the loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncMapRanges(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncMapRanges(p *vet.Pass, funcBody *ast.BlockStmt) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // handled as its own function by the caller
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapRangeEffects(p, funcBody, rs)
+		return true
+	})
+}
+
+func reportMapRangeEffects(p *vet.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(stmt.Pos(), "channel send inside range over map: receive order varies run to run; iterate sorted keys")
+
+		case *ast.AssignStmt:
+			// v = append(v, ...) into a slice declared outside the loop.
+			if len(stmt.Lhs) == 1 && len(stmt.Rhs) == 1 {
+				if lhs, ok := stmt.Lhs[0].(*ast.Ident); ok && isAppendTo(p, stmt.Rhs[0], lhs) {
+					obj := p.Info.ObjectOf(lhs)
+					if obj != nil && !within(obj.Pos(), rs) {
+						if !sortedAfter(p, funcBody, obj, rs.End()) {
+							p.Reportf(stmt.Pos(), "append to %s inside range over map produces a random-order slice; collect and sort the keys first", lhs.Name)
+						}
+					}
+				}
+			}
+			// Float accumulation: x += expr (and -=, *=, /=) where x is a
+			// float declared outside the loop.
+			switch stmt.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if lhs, ok := stmt.Lhs[0].(*ast.Ident); ok {
+					obj := p.Info.ObjectOf(lhs)
+					if obj != nil && !within(obj.Pos(), rs) && isFloat(obj.Type()) {
+						p.Reportf(stmt.Pos(), "float accumulation into %s inside range over map is order-dependent bit-for-bit; iterate sorted keys", lhs.Name)
+					}
+				}
+			}
+
+		case *ast.CallExpr:
+			if name, ok := outputCallee(p, stmt); ok {
+				p.Reportf(stmt.Pos(), "%s inside range over map emits output in random order; iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+func isAppendTo(p *vet.Pass, rhs ast.Expr, lhs *ast.Ident) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, builtin := p.Info.Uses[fn].(*types.Builtin); !builtin {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && p.Info.ObjectOf(first) == p.Info.ObjectOf(lhs)
+}
+
+// sortedAfter reports whether, anywhere in the function after pos, the
+// slice object is passed (as the first argument) to a sort.* or slices.Sort*
+// call — the collect-then-sort idiom.
+func sortedAfter(p *vet.Pass, funcBody *ast.BlockStmt, slice types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sortCall := false
+		if name, ok := pkgFuncRef(p, sel, "sort"); ok {
+			sortCall = name != "Search" // every sort.X(s, ...) entry point sorts s except Search
+		}
+		if name, ok := pkgFuncRef(p, sel, "slices"); ok {
+			switch name {
+			case "Sort", "SortFunc", "SortStableFunc":
+				sortCall = true
+			}
+		}
+		if !sortCall {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && p.Info.ObjectOf(arg) == slice {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func outputCallee(p *vet.Pass, call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if _, builtin := p.Info.Uses[fn].(*types.Builtin); builtin && (fn.Name == "print" || fn.Name == "println") {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		if !outputMethods[fn.Sel.Name] {
+			return "", false
+		}
+		// Package-level output function (fmt.Printf, ...) or a method with
+		// an output name on any receiver (Writer.Write, Builder.WriteString).
+		if name, ok := pkgFuncRef(p, fn, "fmt"); ok {
+			return "fmt." + name, true
+		}
+		if _, isMethod := p.Info.Selections[fn]; isMethod {
+			return fn.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func within(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,47 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+// PanicPath confines panics in library packages to the internal/invariant
+// helpers, which always attach context (the violated condition, the job or
+// stage identity, the wrapped cause). A bare panic(err) that fires three
+// layers deep in a simulation leaves nothing to debug with; a *Violation
+// names the invariant. main packages (cmd/, examples/) and test files may
+// still panic — they own their process.
+var PanicPath = &vet.Analyzer{
+	Name: "panicpath",
+	Doc:  "forbid bare panic in library packages; use invariant.Assertf / invariant.NoErr or return an error",
+	Run:  runPanicPath,
+}
+
+func runPanicPath(p *vet.Pass) error {
+	if p.Pkg.Name() == "main" || vet.PkgName(p.Pkg.Path()) == "invariant" {
+		return nil
+	}
+	for _, f := range p.Files {
+		if vet.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			p.Reportf(call.Pos(), "bare panic in library package %s; use invariant.Assertf/invariant.NoErr (carries context) or return an error", p.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package rules holds the five jockeyvet analyzers that machine-check the
+// repository's determinism contract (DESIGN.md, "Determinism contract"):
+//
+//	walltime    no wall-clock reads in the deterministic packages
+//	globalrand  no global or time-seeded randomness anywhere
+//	maporder    no order-dependent effects inside range-over-map loops
+//	panicpath   no bare panics outside internal/invariant
+//	errctx      errors leaving internal/cluster and internal/control carry
+//	            origin context and wrap causes with %w
+//
+// Every rule honors the //jockeyvet:ignore <reason> escape hatch (applied
+// by the internal/vet driver, not by the individual analyzers).
+package rules
+
+import "github.com/jockeysim/jockey/internal/vet"
+
+// DeterministicPackages names the packages (by final import-path segment)
+// whose behavior must be a pure function of their inputs and seeds: the
+// C(p, a) model, the cluster replay, and everything they are built from.
+// cmd/ and the experiment harness may read the wall clock (progress logs,
+// measured speedups); these packages may not.
+var DeterministicPackages = map[string]bool{
+	"sim":      true,
+	"cluster":  true,
+	"model":    true,
+	"control":  true,
+	"profile":  true,
+	"stats":    true,
+	"progress": true,
+	"workload": true,
+}
+
+// All returns the full suite in rule-table order.
+func All() []*vet.Analyzer {
+	return []*vet.Analyzer{Walltime, GlobalRand, MapOrder, PanicPath, ErrCtx}
+}

@@ -1,0 +1,43 @@
+package rules_test
+
+import (
+	"testing"
+
+	"github.com/jockeysim/jockey/internal/vet/rules"
+	"github.com/jockeysim/jockey/internal/vet/vettest"
+)
+
+func TestWalltime(t *testing.T) {
+	vettest.Run(t, "testdata/walltime/sim", rules.Walltime)
+}
+
+func TestWalltimeAllowsNonDeterministicPackages(t *testing.T) {
+	vettest.Run(t, "testdata/walltime/experiments", rules.Walltime)
+}
+
+func TestGlobalRand(t *testing.T) {
+	vettest.Run(t, "testdata/globalrand/app", rules.GlobalRand)
+}
+
+func TestMapOrder(t *testing.T) {
+	vettest.Run(t, "testdata/maporder/app", rules.MapOrder)
+}
+
+func TestPanicPath(t *testing.T) {
+	vettest.Run(t, "testdata/panicpath/libpkg", rules.PanicPath)
+}
+
+func TestPanicPathAllowsMain(t *testing.T) {
+	vettest.Run(t, "testdata/panicpath/cmdtool", rules.PanicPath)
+}
+
+func TestErrCtx(t *testing.T) {
+	vettest.Run(t, "testdata/errctx/cluster", rules.ErrCtx)
+}
+
+// TestIgnoreDirective proves a reasoned //jockeyvet:ignore suppresses the
+// diagnostic on exactly one line: the directive's own line when trailing
+// code, the next line when standalone — and nothing more.
+func TestIgnoreDirective(t *testing.T) {
+	vettest.Run(t, "testdata/ignore/app", rules.GlobalRand)
+}

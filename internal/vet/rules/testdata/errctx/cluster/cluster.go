@@ -1,0 +1,38 @@
+// Fixture: the error-identity discipline of internal/cluster and
+// internal/control — origin prefix, %w wrapping, no bare foreign errors,
+// no errors.New.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+func bareForeign(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err // want `error from strconv.Atoi returned bare`
+	}
+	return n, nil
+}
+
+func wrapped(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: job %q: parsing guarantee: %w", s, err)
+	}
+	return n, nil
+}
+
+func anonymous() error {
+	return errors.New("boom") // want `errors.New loses identity`
+}
+
+func noPrefix(job string) error {
+	return fmt.Errorf("job %q failed", job) // want `must identify its origin`
+}
+
+func lostCause(job string, err error) error {
+	return fmt.Errorf("cluster: job %q: %v", job, err) // want `without %w loses the cause`
+}

@@ -1,0 +1,29 @@
+// Fixture: the process-global math/rand source and time-seeded generators
+// are banned everywhere; explicitly seeded constructors are the allowed path.
+package app
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func draws() {
+	_ = rand.Float64()                 // want `process-global random source`
+	_ = randv2.IntN(7)                 // want `process-global random source`
+	rand.Shuffle(3, func(i, j int) {}) // want `process-global random source`
+	f := randv2.Float64                // want `process-global random source`
+	_ = f
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now`
+}
+
+func seeded() (*rand.Rand, *randv2.Rand) {
+	legacy := rand.New(rand.NewSource(42))
+	modern := randv2.New(randv2.NewPCG(1, 2))
+	_ = legacy.Float64()
+	_ = modern.Float64()
+	return legacy, modern
+}

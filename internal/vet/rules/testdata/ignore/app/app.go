@@ -1,0 +1,23 @@
+// Fixture: the //jockeyvet:ignore escape hatch. A reasoned directive
+// suppresses diagnostics on exactly one line — its own when it trails code,
+// the next line when it stands alone — and a directive without a reason is
+// itself reported.
+package app
+
+import "math/rand"
+
+func inlineIgnore() float64 {
+	return rand.Float64() //jockeyvet:ignore fixture: demonstrating the escape hatch
+}
+
+func standaloneIgnoreCoversOneLine() (float64, float64) {
+	//jockeyvet:ignore fixture: covers only the next line
+	a := rand.Float64()
+	b := rand.Float64() // want `process-global random source`
+	return a, b
+}
+
+// The unreasoned-directive case (//jockeyvet:ignore with no reason keeps
+// the line's diagnostic and earns one of its own) lives in the framework
+// test internal/vet/vet_test.go, because the `want` notation cannot share a
+// line with the directive under test.

@@ -1,0 +1,66 @@
+// Fixture: order-dependent effects inside range-over-map loops, the
+// collect-then-sort idiom that is allowed, and commutative effects that are
+// allowed.
+package app
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+func appendUnsorted(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // allowed: keys are sorted below
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys { // slice range: no report
+		sum += m[k]
+	}
+	return sum
+}
+
+func emitsOutput(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside range over map`
+		b.WriteString(k)            // want `WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+func commutative(m map[string]int) (int, map[string]int) {
+	n := 0
+	for _, v := range m {
+		n += v // integer sums commute: no report
+	}
+	double := map[string]int{}
+	for k, v := range m {
+		double[k] = 2 * v // writes into a map: no report
+	}
+	return n, double
+}

@@ -1,0 +1,6 @@
+// Fixture: main packages own their process and may panic freely.
+package main
+
+func main() {
+	panic("usage: cmdtool <arg>")
+}

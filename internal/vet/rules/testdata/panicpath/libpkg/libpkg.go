@@ -1,0 +1,16 @@
+// Fixture: library packages may not panic directly — the invariant helpers
+// are the single sanctioned path.
+package libpkg
+
+import "errors"
+
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("non-positive") // want `bare panic in library package libpkg`
+	}
+	return n
+}
+
+func mustNoErr() {
+	panic(errors.New("boom")) // want `bare panic in library package libpkg`
+}

@@ -1,0 +1,11 @@
+// Fixture: "experiments" is not a deterministic package — the harness may
+// time real executions — so walltime reports nothing here.
+package experiments
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

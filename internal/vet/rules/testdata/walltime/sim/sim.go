@@ -1,0 +1,22 @@
+// Fixture: "sim" is a deterministic package, so every wall-clock read is a
+// violation; pure time arithmetic and conversions are not.
+package sim
+
+import "time"
+
+func step(now time.Duration) time.Duration {
+	start := time.Now() // want `time.Now reads the wall clock`
+	_ = start
+	time.Sleep(time.Millisecond)   // want `time.Sleep reads the wall clock`
+	_ = time.Since(start)          // want `time.Since reads the wall clock`
+	_ = time.Until(start)          // want `time.Until reads the wall clock`
+	_ = time.After(time.Second)    // want `time.After reads the wall clock`
+	tick := time.Tick(time.Second) // want `time.Tick reads the wall clock`
+	_ = tick
+
+	// Virtual time, conversions, and constructors are all fine.
+	next := now + 5*time.Second
+	_ = time.Duration(42)
+	_ = time.Unix(0, 0)
+	return next
+}

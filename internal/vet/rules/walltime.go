@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+// wallClockFuncs are the package time functions that read or depend on the
+// wall clock. Pure conversions and constructors (time.Duration, time.Unix,
+// time.Date, ...) are fine: the contract bans the *clock*, not the types.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+// Walltime bans wall-clock time in the deterministic packages: a simulated
+// cluster whose trajectory depends on time.Now is not replayable, and the
+// PR 1 bit-identical C(p, a) guarantee silently dies. Virtual time (the
+// simulation's own `now`) must be threaded through instead. Test files are
+// exempt (timeouts and benchmarks legitimately watch the real clock), as
+// are cmd/ and the experiment harness, which are not in
+// DeterministicPackages.
+var Walltime = &vet.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Until/Sleep/Tick/NewTicker/NewTimer/After/AfterFunc in the deterministic packages; use virtual time",
+	Run:  runWalltime,
+}
+
+func runWalltime(p *vet.Pass) error {
+	if !DeterministicPackages[vet.PkgName(p.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range p.Files {
+		if vet.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgFuncRef(p, sel, "time")
+			if !ok || !wallClockFuncs[name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic package %s; thread virtual time through instead", name, p.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncRef reports whether sel references a package-level function of the
+// package imported under pkgPath (in call position or as a function value),
+// returning the function's name.
+func pkgFuncRef(p *vet.Pass, sel *ast.SelectorExpr, pkgPath string) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	if _, ok := p.Info.Uses[sel.Sel].(*types.Func); !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,208 @@
+// Package vet is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for the repository's own
+// jockeyvet analyzer suite (cmd/jockeyvet). The build environment has no
+// module proxy access, so instead of depending on x/tools this package
+// provides the three pieces the suite needs: the Analyzer/Pass/Diagnostic
+// types, a Check runner that applies the //jockeyvet:ignore directive, and
+// (in driver.go) the `go vet -vettool` unitchecker protocol.
+//
+// The shapes deliberately mirror x/tools so the analyzers can migrate to the
+// real framework verbatim if the dependency ever becomes available.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and the rule table.
+	Name string
+	// Doc is the one-paragraph description shown by `jockeyvet help`.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// IgnoreDirective is the source escape hatch: a comment of the form
+//
+//	//jockeyvet:ignore <reason>
+//
+// placed on (or on the line directly above) the offending line suppresses
+// every diagnostic for that one line. The reason is mandatory — an ignore
+// without one is itself reported — so each suppression documents why the
+// determinism contract does not apply.
+const IgnoreDirective = "//jockeyvet:ignore"
+
+type ignoreSite struct {
+	pos    token.Pos
+	reason string
+	used   bool
+}
+
+// Check runs every analyzer over the package and returns the surviving
+// diagnostics in file/line order: findings on lines covered by a reasoned
+// //jockeyvet:ignore are dropped, and ignores missing a reason are reported
+// as findings themselves.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+
+	// Collect ignore directives: filename -> suppressed line. A directive
+	// covers exactly one line — its own when it trails code, otherwise the
+	// line below it.
+	ignores := map[string]map[int]*ignoreSite{}
+	for _, f := range files {
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !n.Pos().IsValid() {
+				return true
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			if n.End().IsValid() {
+				codeLines[fset.Position(n.End()-1).Line] = true
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //jockeyvet:ignoreXXX — not the directive
+				}
+				pos := fset.Position(c.Pos())
+				site := &ignoreSite{pos: c.Pos(), reason: strings.TrimSpace(rest)}
+				m := ignores[pos.Filename]
+				if m == nil {
+					m = map[int]*ignoreSite{}
+					ignores[pos.Filename] = m
+				}
+				if codeLines[pos.Line] {
+					m[pos.Line] = site
+				} else {
+					m[pos.Line+1] = site
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if site := ignores[d.Position.Filename][d.Position.Line]; site != nil && site.reason != "" {
+			site.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	// A directive without a reason suppresses nothing and is an error: the
+	// whole point of the escape hatch is the documented justification.
+	for _, m := range ignores {
+		reported := map[*ignoreSite]bool{}
+		for _, site := range m {
+			if site.reason == "" && !reported[site] {
+				reported[site] = true
+				diags = append(diags, Diagnostic{
+					Analyzer: "jockeyvet",
+					Pos:      site.pos,
+					Position: fset.Position(site.pos),
+					Message:  "jockeyvet:ignore needs a reason (//jockeyvet:ignore <why the rule does not apply>)",
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// PkgName returns the last path segment of a package path ("a/b/c" -> "c").
+func PkgName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// CalleeOfPkg reports whether call invokes a package-level function of the
+// package with the given import path (e.g. time.Now), returning the
+// function name.
+func CalleeOfPkg(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// IsTestFile reports whether the position's file is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,131 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// calls reports a diagnostic at every function call, making suppression
+// behavior observable line by line without any repo-specific rule logic.
+var calls = &Analyzer{
+	Name: "calls",
+	Doc:  "test analyzer: flags every call expression",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					p.Reportf(c.Pos(), "call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(fset, []*ast.File{f}, pkg, info, []*Analyzer{calls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func lines(diags []Diagnostic) []int {
+	out := make([]int, len(diags))
+	for i, d := range diags {
+		out[i] = d.Position.Line
+	}
+	return out
+}
+
+func TestIgnoreSuppressesExactlyOneLine(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() {}
+
+func g() {
+	f() //jockeyvet:ignore trailing directive covers its own line
+	f()
+	//jockeyvet:ignore standalone directive covers only the next line
+	f()
+	f()
+}
+`)
+	// Lines 6 and 9 are suppressed; lines 7 and 10 keep their diagnostics.
+	if got := lines(diags); len(got) != 2 || got[0] != 7 || got[1] != 10 {
+		t.Fatalf("diagnostics on lines %v, want [7 10]", got)
+	}
+}
+
+func TestIgnoreWithoutReason(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() {}
+
+func g() {
+	f() //jockeyvet:ignore
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (unsuppressed call + missing reason): %v", len(diags), diags)
+	}
+	var sawCall, sawReason bool
+	for _, d := range diags {
+		if d.Message == "call" && d.Position.Line == 6 {
+			sawCall = true
+		}
+		if strings.Contains(d.Message, "needs a reason") {
+			sawReason = true
+		}
+	}
+	if !sawCall || !sawReason {
+		t.Fatalf("want the call diagnostic to survive and the directive to be flagged, got %v", diags)
+	}
+}
+
+func TestIgnoreLookalikeIsNotADirective(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() {}
+
+func g() {
+	f() //jockeyvet:ignoreXXX not the directive
+}
+`)
+	if got := lines(diags); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("diagnostics on lines %v, want [6]", got)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() {}
+
+func g() { f(); f() }
+
+func h() { f() }
+`)
+	if got := lines(diags); len(got) != 3 || got[0] != 5 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("diagnostics on lines %v, want [5 5 7]", got)
+	}
+	if diags[0].Position.Column > diags[1].Position.Column {
+		t.Fatalf("same-line diagnostics not in column order: %v", diags)
+	}
+}

@@ -1,0 +1,189 @@
+// Package vettest is the fixture runner for the jockeyvet analyzers — the
+// analysistest analogue of the stdlib-only internal/vet framework. A fixture
+// is a directory holding one Go package whose lines carry expectations:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// Each `want` regexp must match exactly one diagnostic reported on its line,
+// and every diagnostic must be claimed by a want. Fixtures import only the
+// standard library; export data comes from `go list -export`, so the runner
+// works offline.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+// exportData locates compiled export data for a standard-library import
+// path via the go command (building it on first use).
+func exportData(path string) (string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if f, ok := exportFiles[path]; ok {
+		return f, nil
+	}
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	f := strings.TrimSpace(string(out))
+	if f == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	exportFiles[path] = f
+	return f, nil
+}
+
+// Run type-checks the fixture package in dir and checks the analyzers'
+// diagnostics against the `// want` expectations. The package's import path
+// is the directory base name, which is how fixtures opt in to
+// package-scoped rules (a fixture dir named "cluster" is analyzed as the
+// cluster package).
+func Run(t *testing.T, dir string, analyzers ...*vet.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := exportData(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+	info := vet.NewInfo()
+	pkg, err := (&types.Config{Importer: imp}).Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := vet.Check(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	type key struct {
+		file string
+		line int
+	}
+	unclaimed := map[key][]string{}
+	for _, d := range diags {
+		k := key{filepath.Base(d.Position.Filename), d.Position.Line}
+		unclaimed[k] = append(unclaimed[k], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		matched := -1
+		for i, msg := range unclaimed[k] {
+			if w.rx.MatchString(msg) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q (got %q)", w.file, w.line, w.rx, unclaimed[k])
+			continue
+		}
+		unclaimed[k] = append(unclaimed[k][:matched], unclaimed[k][matched+1:]...)
+	}
+	for k, msgs := range unclaimed {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)$")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := unquoteWant(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{filepath.Base(pos.Filename), pos.Line, rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			out = append(out, s)
+			break
+		}
+		out = append(out, s[:end+2])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/stats"
 )
@@ -168,9 +169,7 @@ func Generate(spec JobSpec, seed uint64) (*profile.Profile, error) {
 // specs.
 func MustGenerate(spec JobSpec, seed uint64) *profile.Profile {
 	p, err := Generate(spec, seed)
-	if err != nil {
-		panic(err)
-	}
+	invariant.NoErr(err, "workload: MustGenerate(%q, seed %d)", spec.Name, seed)
 	return p
 }
 

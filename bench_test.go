@@ -214,20 +214,37 @@ func BenchmarkFigure13HysteresisSweep(b *testing.B) {
 // --- system throughput benchmarks ---
 
 // BenchmarkSimulatorThroughput measures the offline job simulator on job F
-// (6139 vertices); the reported tasks/op quantifies the event engine.
+// (6139 vertices); the reported tasks/op quantifies the event engine. The
+// one-shot variant pays a fresh engine per run (the compatibility path);
+// the reused variant is what the model builds actually do — one Runner's
+// arenas recycled across runs.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := workload.MustGenerate(mustSpec(b, "F"), 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tr, err := sim.Run(sim.Config{Profile: p, Alloc: 50, Seed: uint64(i)})
-		if err != nil {
-			b.Fatal(err)
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := sim.Run(sim.Config{Profile: p, Alloc: 50, Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tr.Completion <= 0 {
+				b.Fatal("no completion")
+			}
 		}
-		if tr.Completion <= 0 {
-			b.Fatal("no completion")
+		b.ReportMetric(float64(p.Job.TotalTasks()), "tasks/op")
+	})
+	b.Run("reused-runner", func(b *testing.B) {
+		r := sim.NewRunner()
+		for i := 0; i < b.N; i++ {
+			tr, err := r.Run(sim.Config{Profile: p, Alloc: 50, Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tr.Completion <= 0 {
+				b.Fatal("no completion")
+			}
 		}
-	}
-	b.ReportMetric(float64(p.Job.TotalTasks()), "tasks/op")
+		b.ReportMetric(float64(p.Job.TotalTasks()), "tasks/op")
+	})
 }
 
 // BenchmarkCPABuild measures the offline model construction for one job —

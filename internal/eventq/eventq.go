@@ -4,10 +4,18 @@
 //
 // Events are ordered by time; ties are broken by insertion sequence so that
 // simulations are reproducible regardless of heap internals.
+//
+// The queue is a hand-rolled binary heap rather than a container/heap
+// adapter: the stdlib interface moves every element through `any`, which
+// boxes one allocation per Push. Because (time, seq) is a total order, the
+// pop sequence is identical to the container/heap implementation it
+// replaced (pinned by the randomized equivalence test in eventq_test.go);
+// only the allocation per event is gone. This matters because the queue
+// sits on the simulator's innermost loop: one Push+Pop per task attempt,
+// millions per C(p, a) table build.
 package eventq
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -17,45 +25,45 @@ type item[T any] struct {
 	v   T
 }
 
-type itemHeap[T any] []item[T]
-
-func (h itemHeap[T]) Len() int { return len(h) }
-func (h itemHeap[T]) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap[T]) Push(x any)   { *h = append(*h, x.(item[T])) }
-func (h *itemHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // Queue is a time-ordered event queue. The zero value is ready to use.
 type Queue[T any] struct {
-	h   itemHeap[T]
+	h   []item[T]
 	seq uint64
 }
 
-// Push schedules v at the given time.
+// less orders the heap by (time, insertion sequence). seq values are unique,
+// so this is a strict total order and pop order does not depend on sift
+// internals.
+func (q *Queue[T]) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+// Push schedules v at the given time. Steady-state pushes (within the
+// queue's high-water capacity) do not allocate.
 func (q *Queue[T]) Push(at time.Duration, v T) {
 	q.seq++
-	heap.Push(&q.h, item[T]{at: at, seq: q.seq, v: v})
+	q.h = append(q.h, item[T]{at: at, seq: q.seq, v: v})
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. ok is false if the queue is
-// empty.
+// empty. Pop never allocates.
 func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
 	if len(q.h) == 0 {
 		var zero T
 		return 0, zero, false
 	}
-	it := heap.Pop(&q.h).(item[T])
+	it := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = item[T]{} // drop references so reused capacity cannot retain T's pointers
+	q.h = q.h[:n]
+	if n > 1 {
+		q.down(0)
+	}
 	return it.at, it.v, true
 }
 
@@ -69,3 +77,46 @@ func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
 
 // Len returns the number of queued events.
 func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Reset empties the queue in place, keeping the backing array so a reused
+// queue (sim.Runner runs thousands of simulations on one queue) reaches its
+// high-water capacity once and never allocates again. The insertion
+// sequence restarts at zero, so a Reset queue behaves bit-identically to a
+// fresh one.
+func (q *Queue[T]) Reset() {
+	clear(q.h) // drop references held by T
+	q.h = q.h[:0]
+	q.seq = 0
+}
+
+// up restores the heap property from index i toward the root.
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from index i toward the leaves.
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}

@@ -1,0 +1,26 @@
+package invariant
+
+import "time"
+
+// ChecksumDurations returns an FNV-1a hash of the durations, order
+// sensitive. Debug builds use it to detect mutation of slices that are
+// shared under a read-only contract: record the checksum when the slice is
+// published, re-check it on every access, and Assertf on mismatch. It
+// lives here (rather than in stats) because it exists only to back Debug
+// assertions.
+func ChecksumDurations(ds []time.Duration) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, d := range ds {
+		v := uint64(d)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

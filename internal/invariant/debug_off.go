@@ -1,0 +1,10 @@
+//go:build !invariantdebug
+
+package invariant
+
+// Debug reports whether the expensive debug-build invariant checks are
+// compiled in. In the default build it is a false constant, so guarded
+// checks (`if invariant.Debug { ... }`) are eliminated at compile time and
+// the hot path pays nothing. Build with `-tags invariantdebug` to enable
+// them (CI runs the model package that way).
+const Debug = false

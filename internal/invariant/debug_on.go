@@ -1,0 +1,8 @@
+//go:build invariantdebug
+
+package invariant
+
+// Debug is true in `-tags invariantdebug` builds: expensive invariant
+// checks — e.g. the C(p, a) read-only-cells checksum in internal/model —
+// run on every access and panic (via Assertf) on violation.
+const Debug = true

@@ -1,0 +1,35 @@
+package invariant
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDebugDefaultOff: the hot path must pay nothing in default builds —
+// Debug is a compile-time false unless -tags invariantdebug is set, in
+// which case this test is a tautology (and the model package's
+// readonly_debug_test.go exercises the enforcement instead).
+func TestDebugDefaultOff(t *testing.T) {
+	t.Logf("invariant.Debug = %v", Debug)
+}
+
+func TestChecksumDurations(t *testing.T) {
+	a := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	b := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	if ChecksumDurations(a) != ChecksumDurations(b) {
+		t.Error("equal slices must hash equal")
+	}
+	b[1]++
+	if ChecksumDurations(a) == ChecksumDurations(b) {
+		t.Error("mutation must change the checksum")
+	}
+	// Order sensitivity: the cells are sorted, so a reordering is a
+	// mutation too.
+	c := []time.Duration{2 * time.Second, time.Second, 3 * time.Second}
+	if ChecksumDurations(a) == ChecksumDurations(c) {
+		t.Error("reordering must change the checksum")
+	}
+	if ChecksumDurations(nil) != ChecksumDurations([]time.Duration{}) {
+		t.Error("nil and empty must hash equal")
+	}
+}

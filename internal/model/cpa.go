@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/progress"
 	"github.com/jockeysim/jockey/internal/sim"
@@ -73,12 +75,22 @@ func (c *CPAConfig) fill() error {
 // goroutines, pulling indices from a shared atomic counter. fn must only
 // write state owned by index i.
 func runParallel(n, workers int, fn func(int)) {
+	runParallelWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// runParallelWorkers is runParallel with the executing worker's identity
+// (0 <= worker < workers) passed to fn, so callers can hand each worker
+// its own reusable scratch state — e.g. one sim.Runner per worker, since
+// Runners are cheap to reuse but not concurrency-safe. Worker identity
+// must not influence results (the index-derived seeds and the
+// deterministic merge guarantee that for the model builds).
+func runParallelWorkers(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -86,16 +98,16 @@ func runParallel(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -108,8 +120,13 @@ type CPA struct {
 	allocs    []int
 	buckets   int
 	// cells[ai][b] holds remaining-time samples for allocation index ai and
-	// progress bucket b.
+	// progress bucket b. Every cell is sorted ascending once at build time,
+	// so quantile queries index the sorted slice directly (no per-query
+	// copy or sort). The cell slices are therefore shared and READ-ONLY
+	// after construction; in `-tags invariantdebug` builds, sums holds a
+	// per-cell checksum and samplesAt asserts it on every access.
 	cells [][]*stats.Reservoir
+	sums  [][]uint64
 }
 
 // BuildCPA runs the offline simulator across the allocation grid and builds
@@ -138,33 +155,45 @@ func BuildCPA(p *profile.Profile, ind progress.Indicator, cfg CPAConfig) (*CPA, 
 	// Phase 1 — fan out: every (alloc, run) cell is an independent
 	// simulation whose seed depends only on (Seed, alloc, run), so the
 	// worker pool can execute cells in any order on any number of
-	// goroutines. Each worker writes only its own cellObs slot.
+	// goroutines. Each worker writes only its own cellObs slot, and holds
+	// one reusable simulation engine plus one sample scratch buffer —
+	// worker identity touches memory reuse only, never results.
 	type obs struct {
 		bucket int
 		v      time.Duration
 	}
+	type sample struct {
+		t time.Duration
+		p float64
+	}
 	nCells := len(c.allocs) * cfg.RunsPerAlloc
 	cellObs := make([][]obs, nCells)
 	cellErr := make([]error, nCells)
-	runParallel(nCells, cfg.Parallelism, func(idx int) {
+	runners := make([]*sim.Runner, cfg.Parallelism)
+	scratch := make([][]sample, cfg.Parallelism)
+	runParallelWorkers(nCells, cfg.Parallelism, func(worker, idx int) {
 		ai := idx / cfg.RunsPerAlloc
 		run := idx % cfg.RunsPerAlloc
 		alloc := c.allocs[ai]
-		type sample struct {
-			t time.Duration
-			p float64
+		r := runners[worker]
+		if r == nil {
+			r = sim.NewRunner()
+			runners[worker] = r
 		}
-		var samples []sample
-		seed := stats.DeriveSeed(cfg.Seed, "cpa", fmt.Sprint(alloc), fmt.Sprint(run))
-		tr, err := sim.Run(sim.Config{
+		samples := scratch[worker][:0]
+		seed := stats.DeriveSeed(cfg.Seed, "cpa", strconv.Itoa(alloc), strconv.Itoa(run))
+		tr, err := r.Run(sim.Config{
 			Profile:     p,
 			Alloc:       alloc,
 			Seed:        seed,
 			SampleEvery: cfg.SampleEvery,
 			OnSample: func(s sim.Snapshot) {
+				// s.FracDone is the Runner's scratch buffer; Progress
+				// consumes it inside the callback, nothing is retained.
 				samples = append(samples, sample{t: s.Time, p: ind.Progress(s.FracDone)})
 			},
 		})
+		scratch[worker] = samples // keep the grown capacity for the next cell
 		if err != nil {
 			cellErr[idx] = err
 			return
@@ -195,6 +224,26 @@ func BuildCPA(p *profile.Profile, ind progress.Indicator, cfg CPAConfig) (*CPA, 
 		ai := idx / cfg.RunsPerAlloc
 		for _, o := range cellObs[idx] {
 			c.cells[ai][o.bucket].Add(o.v, rng)
+		}
+	}
+	// Phase 3 — presort: order every cell ascending exactly once, so
+	// Remaining is an O(1)-allocation quantile lookup and ExpectedUtility
+	// iterates the shared sorted slice. Sorting after the merge preserves
+	// the reservoirs' retained multisets, so quantiles equal the old
+	// copy-and-sort-per-query values bit for bit
+	// (TestPresortedQuantilesMatchReference).
+	for ai := range c.cells {
+		for b := range c.cells[ai] {
+			c.cells[ai][b].Sort()
+		}
+	}
+	if invariant.Debug {
+		c.sums = make([][]uint64, len(c.cells))
+		for ai := range c.cells {
+			c.sums[ai] = make([]uint64, len(c.cells[ai]))
+			for b := range c.cells[ai] {
+				c.sums[ai][b] = invariant.ChecksumDurations(c.cells[ai][b].Values())
+			}
 		}
 	}
 	return c, nil
@@ -248,28 +297,45 @@ func (c *CPA) allocIndex(a int) int {
 
 // samplesAt returns the remaining-time samples for progress p at allocation
 // a, widening the search to neighbouring progress buckets until it finds a
-// non-empty cell. The returned slice must not be modified.
+// non-empty cell. The returned slice is sorted ascending, shared between
+// every caller, and READ-ONLY: Remaining and ExpectedUtility consume it
+// without copying, so a mutation would silently corrupt every later query.
+// Debug builds (-tags invariantdebug) verify a build-time checksum of the
+// cell on every access and panic on mutation.
 func (c *CPA) samplesAt(p float64, a int) []time.Duration {
 	ai := c.allocIndex(a)
 	b := c.bucket(p)
 	row := c.cells[ai]
 	if vs := row[b].Values(); len(vs) > 0 {
-		return vs
+		return c.readOnly(ai, b, vs)
 	}
 	// Widen symmetrically; prefer the lower (more pessimistic) bucket.
 	for d := 1; d <= c.buckets; d++ {
 		if b-d >= 0 {
 			if vs := row[b-d].Values(); len(vs) > 0 {
-				return vs
+				return c.readOnly(ai, b-d, vs)
 			}
 		}
 		if b+d <= c.buckets {
 			if vs := row[b+d].Values(); len(vs) > 0 {
-				return vs
+				return c.readOnly(ai, b+d, vs)
 			}
 		}
 	}
 	return nil
+}
+
+// readOnly enforces the read-only-cells contract in debug builds: the cell
+// being handed out must still hash to its build-time checksum. The Debug
+// constant is false in default builds, so the check (and the sums table)
+// compiles away.
+func (c *CPA) readOnly(ai, b int, vs []time.Duration) []time.Duration {
+	if invariant.Debug && c.sums != nil {
+		invariant.Assertf(invariant.ChecksumDurations(vs) == c.sums[ai][b],
+			"model: C(p,a) cell (alloc=%d, bucket=%d) mutated since build; cell slices are read-only",
+			c.allocs[ai], b)
+	}
+	return vs
 }
 
 // Name implements Predictor.
@@ -278,15 +344,12 @@ func (c *CPA) Name() string { return "simulator" }
 // Progress evaluates the table's indicator on a state.
 func (c *CPA) Progress(st State) float64 { return c.indicator.Progress(st.FracDone) }
 
-// Remaining implements Predictor: the q-quantile of C(p, a).
+// Remaining implements Predictor: the q-quantile of C(p, a). Cells are
+// sorted at build time, so this is a widening search plus an interpolated
+// index — zero allocations per query (pinned by TestCPAQueryZeroAllocs),
+// where it previously copied and re-sorted the cell on every call.
 func (c *CPA) Remaining(st State, a int, q float64) time.Duration {
-	samples := c.samplesAt(c.Progress(st), a)
-	if len(samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return stats.QuantileDurations(sorted, q)
+	return stats.QuantileDurations(c.samplesAt(c.Progress(st), a), q)
 }
 
 // ExpectedUtility implements Predictor: the mean of U(elapsed + slack·C)

@@ -1,0 +1,249 @@
+package model
+
+// Regression tests for the allocation-free query path: presorted cells
+// must answer quantile queries bit-identically to the old copy-and-sort-
+// per-query implementation, tables must stay bit-identical across worker
+// counts (including the reused-engine fan-out), and the steady-state query
+// path must not allocate.
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// referenceRemaining reimplements the pre-presort Remaining: copy the
+// cell, sort the copy, interpolate. Equivalence with the zero-copy path
+// follows from cells being sorted at build time — this test keeps that
+// reasoning honest.
+func referenceRemaining(c *CPA, st State, a int, q float64) time.Duration {
+	samples := c.samplesAt(c.Progress(st), a)
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return stats.QuantileDurations(sorted, q)
+}
+
+func TestPresortedQuantilesMatchReference(t *testing.T) {
+	p := noisyProfile(t)
+	c := buildCPAWithParallelism(t, 4)
+	for _, a := range []int{1, 2, 5, 15, 40, 100} {
+		for _, frac := range []float64{0, 0.1, 0.33, 0.5, 0.77, 0.99, 1} {
+			st := State{FracDone: []float64{frac, frac}}
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 1} {
+				got := c.Remaining(st, a, q)
+				want := referenceRemaining(c, st, a, q)
+				if got != want {
+					t.Fatalf("Remaining(frac=%v, a=%d, q=%v) = %v; copy-and-sort reference = %v",
+						frac, a, q, got, want)
+				}
+			}
+		}
+	}
+	_ = p
+}
+
+// TestCPACellsSortedAscending: every non-empty cell must be sorted after
+// BuildCPA — the invariant Remaining's direct indexing depends on.
+func TestCPACellsSortedAscending(t *testing.T) {
+	c := buildCPAWithParallelism(t, 2)
+	for ai := range c.cells {
+		for b := range c.cells[ai] {
+			vs := c.cells[ai][b].Values()
+			for i := 1; i < len(vs); i++ {
+				if vs[i-1] > vs[i] {
+					t.Fatalf("cell (a=%d, b=%d) unsorted at %d: %v > %v",
+						c.allocs[ai], b, i, vs[i-1], vs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCPABitIdenticalAcrossParallelism extends the PR-1 determinism pin to
+// the reused-engine fan-out at the issue's required worker counts: the
+// retained samples of every cell, and the quantiles read from them, must
+// be bit-identical at parallelism 1, 4 and 8.
+func TestCPABitIdenticalAcrossParallelism(t *testing.T) {
+	seq := buildCPAWithParallelism(t, 1)
+	for _, par := range []int{4, 8} {
+		c := buildCPAWithParallelism(t, par)
+		for ai := range seq.cells {
+			for b := range seq.cells[ai] {
+				sv, cv := seq.cells[ai][b].Values(), c.cells[ai][b].Values()
+				if len(sv) != len(cv) {
+					t.Fatalf("par %d: cell (a=%d, b=%d) has %d samples, want %d",
+						par, seq.allocs[ai], b, len(cv), len(sv))
+				}
+				for i := range sv {
+					if sv[i] != cv[i] {
+						t.Fatalf("par %d: cell (a=%d, b=%d)[%d] = %v, want %v",
+							par, seq.allocs[ai], b, i, cv[i], sv[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineSimBitIdenticalAcrossParallelism: same pin for the online
+// predictor's per-worker reused engines at parallelism 1, 4, 8.
+func TestOnlineSimBitIdenticalAcrossParallelism(t *testing.T) {
+	p := noisyProfile(t)
+	build := func(par int) *OnlineSim {
+		o, err := NewOnlineSim(p, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.SetParallelism(par)
+		return o
+	}
+	states := []State{
+		{FracDone: []float64{0, 0}},
+		{Elapsed: 3 * time.Minute, FracDone: []float64{0.5, 0}},
+		{Elapsed: 11 * time.Minute, FracDone: []float64{1, 0.75}},
+	}
+	seq := build(1)
+	for _, par := range []int{4, 8} {
+		o := build(par)
+		for _, st := range states {
+			for _, a := range []int{1, 6, 30} {
+				for _, q := range []float64{0, 0.5, 0.95, 1} {
+					if got, want := o.Remaining(st, a, q), seq.Remaining(st, a, q); got != want {
+						t.Fatalf("par %d: Remaining(a=%d, q=%v) = %v, want %v", par, a, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCPAQueryZeroAllocs pins the acceptance criterion: steady-state
+// Remaining and ExpectedUtility queries perform zero allocations.
+func TestCPAQueryZeroAllocs(t *testing.T) {
+	p := noisyProfile(t)
+	c := buildTestCPA(t, p, []int{2, 5, 15, 40})
+	st := State{Elapsed: 5 * time.Minute, FracDone: []float64{0.5, 0.25}}
+	u := utility.Deadline(20 * time.Minute)
+	var sink time.Duration
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = c.Remaining(st, 15, 0.9)
+	})
+	if allocs != 0 {
+		t.Errorf("Remaining = %v allocs/run, want 0", allocs)
+	}
+	var fsink float64
+	allocs = testing.AllocsPerRun(100, func() {
+		fsink = c.ExpectedUtility(st, 15, 1.2, u)
+	})
+	if allocs != 0 {
+		t.Errorf("ExpectedUtility = %v allocs/run, want 0", allocs)
+	}
+	_, _ = sink, fsink
+}
+
+// TestOnlineSimMemoHitZeroAllocs: within one control tick (unchanged
+// state), repeated queries for an already-simulated allocation must not
+// allocate — the binary state key is built into a reused buffer and the
+// sample slice comes from the memo.
+func TestOnlineSimMemoHitZeroAllocs(t *testing.T) {
+	p := noisyProfile(t)
+	o, err := NewOnlineSim(p, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := State{Elapsed: time.Minute, FracDone: []float64{0.25, 0}}
+	o.Remaining(st, 10, 0.5) // fill the memo
+	var sink time.Duration
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = o.Remaining(st, 10, 0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("memo-hit Remaining = %v allocs/run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestOnlineSimSeedKeyFormat pins the seed-label string to the legacy
+// format: the binary memo key is an optimization and must not shift the
+// derived seeds (which would silently change every online prediction).
+func TestOnlineSimSeedKeyFormat(t *testing.T) {
+	p := noisyProfile(t)
+	o, err := NewOnlineSim(p, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := State{Elapsed: 90 * time.Second, FracDone: []float64{0.5115, 0.25}}
+	o.refreshMemo(st)
+	// Legacy: 3 bytes (v>>8, v, ',') per stage, then fmt.Sprint(seconds).
+	legacy := func(st State) string {
+		out := make([]byte, 0, len(st.FracDone)*3)
+		for _, f := range st.FracDone {
+			v := int(f * 1000)
+			out = append(out, byte(v>>8), byte(v), ',')
+		}
+		return string(out) + "90"
+	}
+	if o.seedKey != legacy(st) {
+		t.Fatalf("seedKey = %q, want legacy format %q", o.seedKey, legacy(st))
+	}
+}
+
+// BenchmarkCPAQuery measures the controller-facing query path on a built
+// table. The acceptance criterion is 0 allocs/op for Remaining (it was 3
+// allocs/op via copy+sort before presorting).
+func BenchmarkCPAQuery(b *testing.B) {
+	p := noisyProfile(b)
+	c := buildTestCPA(b, p, []int{2, 5, 15, 40})
+	st := State{Elapsed: 5 * time.Minute, FracDone: []float64{0.5, 0.25}}
+	u := utility.Deadline(20 * time.Minute)
+	b.Run("Remaining", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Remaining(st, 15, 0.9)
+		}
+	})
+	b.Run("ExpectedUtility", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.ExpectedUtility(st, 15, 1.2, u)
+		}
+	})
+}
+
+// BenchmarkOnlineSimTick measures one full control tick of the online
+// predictor (all candidate allocations at one state) with reused
+// per-worker engines, plus the memo-hit fast path.
+func BenchmarkOnlineSimTick(b *testing.B) {
+	p := noisyProfile(b)
+	o, err := NewOnlineSim(p, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.SetParallelism(1)
+	u := utility.Deadline(20 * time.Minute)
+	b.Run("tick", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Vary elapsed so every iteration is a fresh state (a real tick).
+			st := State{Elapsed: time.Duration(i) * time.Second, FracDone: []float64{0.5, 0.25}}
+			for _, a := range []int{2, 5, 15, 40} {
+				o.ExpectedUtility(st, a, 1.2, u)
+			}
+		}
+	})
+	b.Run("memo-hit", func(b *testing.B) {
+		st := State{Elapsed: time.Minute, FracDone: []float64{0.5, 0.25}}
+		o.ExpectedUtility(st, 15, 1.2, u)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.ExpectedUtility(st, 15, 1.2, u)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package model
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strconv"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/profile"
@@ -30,8 +32,24 @@ type OnlineSim struct {
 
 	// Single-entry memo: the control loop queries the same state for every
 	// candidate allocation, and Remaining/ExpectedUtility share samples.
-	memoKey     string
+	// The state is identified by a fixed-size binary key (3 bytes per
+	// stage + 8 bytes of elapsed seconds) built into a reused buffer, so a
+	// memo-hit query performs no string building and no allocation; the
+	// legacy string form, which seeds the forward runs, is rebuilt only
+	// when the state actually changes (once per control tick). The
+	// memoized sample slices are sorted ascending.
+	memoKey     []byte
+	keyScratch  []byte
+	seedKey     string
 	memoSamples map[int][]time.Duration
+
+	// Per-worker reusable simulation engines plus result scratch; sized on
+	// first use. Worker identity affects memory reuse only — seeds depend
+	// on (seed, state, alloc, run index) and results are collected in run
+	// order, so predictions are bit-identical at any parallelism.
+	runners     []*sim.Runner
+	completions []time.Duration
+	succeeded   []bool
 }
 
 // NewOnlineSim builds the online predictor; runs is the number of forward
@@ -58,27 +76,43 @@ func (o *OnlineSim) SetParallelism(n int) { o.par = n }
 // Name implements Predictor.
 func (o *OnlineSim) Name() string { return "online-sim" }
 
-func stateKey(st State) string {
-	// Round fractions so the memo survives tiny float noise within a tick.
-	out := make([]byte, 0, len(st.FracDone)*3)
+// refreshMemo recomputes the state key into the reused scratch buffer and,
+// if the state changed, invalidates the memo and rebuilds the seed-label
+// string. The rounding (1/1000 fractions, whole seconds) makes the memo
+// survive tiny float noise within a tick; the seed string reproduces the
+// pre-binary-key format byte for byte so derived seeds — and therefore
+// every prediction — are unchanged.
+func (o *OnlineSim) refreshMemo(st State) {
+	buf := o.keyScratch[:0]
 	for _, f := range st.FracDone {
 		v := int(f * 1000)
-		out = append(out, byte(v>>8), byte(v), ',')
+		buf = append(buf, byte(v>>8), byte(v), ',')
 	}
-	return string(out) + fmt.Sprint(int(st.Elapsed/time.Second))
+	secs := int64(st.Elapsed / time.Second)
+	var sb [8]byte
+	for i := range sb {
+		sb[i] = byte(secs >> (8 * i))
+	}
+	stages := len(buf)
+	buf = append(buf, sb[:]...)
+	o.keyScratch = buf
+	if bytes.Equal(buf, o.memoKey) {
+		return
+	}
+	o.memoKey = append(o.memoKey[:0], buf...)
+	o.seedKey = string(buf[:stages]) + strconv.Itoa(int(secs))
+	clear(o.memoSamples)
 }
 
 // samples returns remaining-time samples for the state at allocation a,
-// simulating forward from the state's per-stage completion fractions.
+// sorted ascending, simulating forward from the state's per-stage
+// completion fractions. The returned slice is memoized and shared; callers
+// must treat it as read-only.
 func (o *OnlineSim) samples(st State, a int) []time.Duration {
 	if a < 1 {
 		a = 1
 	}
-	key := stateKey(st)
-	if key != o.memoKey {
-		o.memoKey = key
-		o.memoSamples = map[int][]time.Duration{}
-	}
+	o.refreshMemo(st)
 	if s, ok := o.memoSamples[a]; ok {
 		return s
 	}
@@ -86,11 +120,28 @@ func (o *OnlineSim) samples(st State, a int) []time.Duration {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	completions := make([]time.Duration, o.runs)
-	succeeded := make([]bool, o.runs)
-	runParallel(o.runs, workers, func(r int) {
-		seed := stats.DeriveSeed(o.seed, "online", key, fmt.Sprint(a), fmt.Sprint(r))
-		tr, err := sim.Run(sim.Config{
+	if workers > o.runs {
+		workers = o.runs
+	}
+	if len(o.runners) < workers {
+		o.runners = append(o.runners, make([]*sim.Runner, workers-len(o.runners))...)
+	}
+	if cap(o.completions) < o.runs {
+		o.completions = make([]time.Duration, o.runs)
+		o.succeeded = make([]bool, o.runs)
+	}
+	completions := o.completions[:o.runs]
+	succeeded := o.succeeded[:o.runs]
+	clear(succeeded)
+	aLabel := strconv.Itoa(a)
+	runParallelWorkers(o.runs, workers, func(worker, r int) {
+		rn := o.runners[worker]
+		if rn == nil {
+			rn = sim.NewRunner()
+			o.runners[worker] = rn
+		}
+		seed := stats.DeriveSeed(o.seed, "online", o.seedKey, aLabel, strconv.Itoa(r))
+		tr, err := rn.Run(sim.Config{
 			Profile:         o.p,
 			Alloc:           a,
 			Seed:            seed,
@@ -110,18 +161,14 @@ func (o *OnlineSim) samples(st State, a int) []time.Duration {
 			out = append(out, completions[r])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	o.memoSamples[a] = out
 	return out
 }
 
 // Remaining implements Predictor.
 func (o *OnlineSim) Remaining(st State, a int, q float64) time.Duration {
-	s := o.samples(st, a)
-	if len(s) == 0 {
-		return 0
-	}
-	return stats.QuantileDurations(s, q)
+	return stats.QuantileDurations(o.samples(st, a), q)
 }
 
 // ExpectedUtility implements Predictor.

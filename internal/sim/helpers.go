@@ -22,11 +22,13 @@ func RunInfinite(p *profile.Profile, seed uint64) (*trace.JobTrace, error) {
 
 // EstimateLatency runs the simulator n times at the given allocation and
 // returns the observed completion times, sorted ascending. Seeds are derived
-// from seed so results are reproducible.
+// from seed so results are reproducible. The n runs share one Runner, so
+// only the first pays the engine allocation.
 func EstimateLatency(p *profile.Profile, alloc, n int, seed uint64) ([]time.Duration, error) {
 	out := make([]time.Duration, 0, n)
+	r := NewRunner()
 	for i := 0; i < n; i++ {
-		tr, err := Run(Config{Profile: p, Alloc: alloc, Seed: seed + uint64(i)*0x9e37})
+		tr, err := r.Run(Config{Profile: p, Alloc: alloc, Seed: seed + uint64(i)*0x9e37})
 		if err != nil {
 			return nil, err
 		}

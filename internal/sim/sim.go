@@ -11,7 +11,10 @@
 //
 // Repeatedly running the simulator across an allocation grid yields the
 // samples from which the C(p, a) remaining-time distributions are built
-// (package model).
+// (package model). Because one table build runs thousands of simulations
+// and the online predictor re-runs them every control tick, the hot path
+// is allocation-lean: a Runner allocates its arenas once per job shape and
+// reuses them across runs, and the event queue never boxes.
 package sim
 
 import (
@@ -65,6 +68,20 @@ type Config struct {
 	InitialFracDone []float64
 }
 
+func (cfg *Config) validate() error {
+	if cfg.Profile == nil {
+		return fmt.Errorf("sim: nil profile")
+	}
+	if cfg.Alloc < 1 {
+		return fmt.Errorf("sim: allocation %d; need at least 1 token", cfg.Alloc)
+	}
+	if cfg.InitialFracDone != nil && len(cfg.InitialFracDone) != cfg.Profile.Job.NumStages() {
+		return fmt.Errorf("sim: InitialFracDone has %d entries; plan %q has %d stages",
+			len(cfg.InitialFracDone), cfg.Profile.Job.Name, cfg.Profile.Job.NumStages())
+	}
+	return nil
+}
+
 type taskRef struct {
 	stage, task int
 }
@@ -83,125 +100,224 @@ const (
 	evSample
 )
 
-type engine struct {
-	cfg  Config
-	p    *profile.Profile
-	job  *dag.Job
-	rng  *rand.Rand
-	q    eventq.Queue[event]
-	tr   *trace.JobTrace
-	now  time.Duration
-	maxA int
+// readyCompactMin is the minimum number of consumed entries before the
+// ready FIFO compacts (see popReady); small queues never pay the copy.
+const readyCompactMin = 1024
 
-	ready     []taskRef // FIFO queue of schedulable tasks
-	readyHead int
-	running   int
-	tasksLeft int
-
-	done         [][]bool
-	doneCount    []int
-	remDeps      [][]int
-	queuedAt     [][]time.Duration
-	dispatchedAt [][]time.Duration // token-grant time of the in-flight attempt
-	startedAt    [][]time.Duration // exec-start time of the in-flight attempt
-	attempts     [][]int
-
+// Runner is a reusable simulation engine. The first Run against a job plan
+// allocates the engine's state arenas — per-task completion/dependency/
+// attempt/timestamp arrays (flat backing arrays with per-stage views), the
+// consumer adjacency, the ready FIFO, the event queue, and the trace
+// buffer — sized to that plan; subsequent Runs against the same plan
+// (pointer-identical *dag.Job) reset them in place and allocate nothing
+// beyond what the run itself records. This is the hot-path engine behind
+// C(p, a) table builds and per-tick online re-simulation, where thousands
+// of runs share one job shape.
+//
+// A Runner is NOT safe for concurrent use: callers that fan simulations
+// out across goroutines hold one Runner per worker (see model.BuildCPA).
+// Results are bit-identical to the one-shot Run function — same RNG draws,
+// same event order, same trace — pinned by TestRunnerReuseBitIdentical.
+type Runner struct {
+	// Immutable per job shape (rebuilt only when the job changes).
+	job *dag.Job
 	// consumers[s][i] lists, for each one-to-one out-edge of stage s, the
 	// consumer tasks that depend on producer task i.
 	consumers [][][]taskRef
+	// baseDeps is the initial remaining-dependency count of every task,
+	// derived from the plan's edges alone; reset copies it into remFlat.
+	baseDeps   []int
+	totalTasks int
+
+	// Flat arenas, one entry per task, with per-stage window views.
+	doneFlat       []bool
+	remFlat        []int
+	attemptsFlat   []int
+	queuedFlat     []time.Duration
+	dispatchedFlat []time.Duration
+	startedFlat    []time.Duration
+
+	done         [][]bool
+	remDeps      [][]int
+	attempts     [][]int
+	queuedAt     [][]time.Duration
+	dispatchedAt [][]time.Duration // token-grant time of the in-flight attempt
+	startedAt    [][]time.Duration // exec-start time of the in-flight attempt
+	doneCount    []int
+
+	ready     []taskRef // FIFO queue of schedulable tasks
+	readyHead int
+	q         eventq.Queue[event]
+	tr        trace.JobTrace
+	src       *rand.PCG
+	rng       *rand.Rand
+	fracBuf   []float64 // scratch for Snapshot.FracDone
+
+	// snapshotCopy makes emitSample hand each OnSample callback a freshly
+	// allocated FracDone slice (the one-shot Run contract, where callers
+	// may retain snapshots). Runner's default hands out fracBuf, valid only
+	// during the callback.
+	snapshotCopy bool
+
+	// Per-run state.
+	cfg       Config
+	p         *profile.Profile
+	now       time.Duration
+	running   int
+	tasksLeft int
+	maxA      int
+}
+
+// NewRunner returns an empty Runner; arenas are sized lazily by the first
+// Run's job plan.
+func NewRunner() *Runner {
+	src := stats.NewSource(0)
+	return &Runner{src: src, rng: rand.New(src)}
 }
 
 // Run simulates one execution of the profiled job and returns its trace.
-func Run(cfg Config) (*trace.JobTrace, error) {
-	if cfg.Profile == nil {
-		return nil, fmt.Errorf("sim: nil profile")
-	}
-	if cfg.Alloc < 1 {
-		return nil, fmt.Errorf("sim: allocation %d; need at least 1 token", cfg.Alloc)
-	}
-	if cfg.InitialFracDone != nil && len(cfg.InitialFracDone) != cfg.Profile.Job.NumStages() {
-		return nil, fmt.Errorf("sim: InitialFracDone has %d entries; plan %q has %d stages",
-			len(cfg.InitialFracDone), cfg.Profile.Job.Name, cfg.Profile.Job.NumStages())
-	}
-	e := &engine{
-		cfg:  cfg,
-		p:    cfg.Profile,
-		job:  cfg.Profile.Job,
-		rng:  stats.NewRNG(cfg.Seed),
-		tr:   trace.New(cfg.Profile.Job.Name, cfg.Profile.Job.NumStages()),
-		maxA: cfg.MaxAttempts,
-	}
-	if e.maxA <= 0 {
-		e.maxA = DefaultMaxAttempts
-	}
-	e.init()
-	if err := e.run(); err != nil {
+//
+// Reuse contract: the returned trace AND the Snapshot.FracDone slices
+// passed to cfg.OnSample are backed by the Runner's arenas and are valid
+// only until the next Run call. Callers that need to retain them must
+// copy; callers that cannot honour that use the package-level Run, which
+// allocates a fresh Runner per call and therefore carries no aliasing.
+func (r *Runner) Run(cfg Config) (*trace.JobTrace, error) {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return e.tr, nil
+	r.cfg = cfg
+	r.p = cfg.Profile
+	r.maxA = cfg.MaxAttempts
+	if r.maxA <= 0 {
+		r.maxA = DefaultMaxAttempts
+	}
+	if r.job != cfg.Profile.Job {
+		r.shape(cfg.Profile.Job)
+	}
+	r.reset()
+	if err := r.run(); err != nil {
+		return nil, err
+	}
+	return &r.tr, nil
 }
 
-func (e *engine) init() {
-	job := e.job
+// Run simulates one execution of the profiled job and returns its trace.
+// It is the one-shot convenience wrapper around Runner: a fresh Runner per
+// call, so the returned trace and every Snapshot handed to OnSample are
+// independently owned by the caller. Loops over many runs of the same job
+// should hold a Runner instead.
+func Run(cfg Config) (*trace.JobTrace, error) {
+	r := NewRunner()
+	r.snapshotCopy = true
+	return r.Run(cfg)
+}
+
+// shape (re)builds the arenas for a new job plan: one flat array per
+// per-task field, sliced into per-stage windows, plus the consumer
+// adjacency and base dependency counts, both of which depend only on the
+// plan and are reused unchanged across runs.
+func (r *Runner) shape(job *dag.Job) {
+	r.job = job
 	n := job.NumStages()
-	e.done = make([][]bool, n)
-	e.doneCount = make([]int, n)
-	e.remDeps = make([][]int, n)
-	e.queuedAt = make([][]time.Duration, n)
-	e.dispatchedAt = make([][]time.Duration, n)
-	e.startedAt = make([][]time.Duration, n)
-	e.attempts = make([][]int, n)
-	e.consumers = make([][][]taskRef, n)
+	total := 0
+	for s := 0; s < n; s++ {
+		total += job.Stages[s].Tasks
+	}
+	r.totalTasks = total
+
+	r.doneFlat = make([]bool, total)
+	r.remFlat = make([]int, total)
+	r.attemptsFlat = make([]int, total)
+	r.queuedFlat = make([]time.Duration, total)
+	r.dispatchedFlat = make([]time.Duration, total)
+	r.startedFlat = make([]time.Duration, total)
+	r.baseDeps = make([]int, total)
+	r.doneCount = make([]int, n)
+	r.fracBuf = make([]float64, n)
+
+	r.done = make([][]bool, n)
+	r.remDeps = make([][]int, n)
+	r.attempts = make([][]int, n)
+	r.queuedAt = make([][]time.Duration, n)
+	r.dispatchedAt = make([][]time.Duration, n)
+	r.startedAt = make([][]time.Duration, n)
+	r.consumers = make([][][]taskRef, n)
+	off := 0
 	for s := 0; s < n; s++ {
 		tasks := job.Stages[s].Tasks
-		e.done[s] = make([]bool, tasks)
-		e.remDeps[s] = make([]int, tasks)
-		e.queuedAt[s] = make([]time.Duration, tasks)
-		e.dispatchedAt[s] = make([]time.Duration, tasks)
-		e.startedAt[s] = make([]time.Duration, tasks)
-		e.attempts[s] = make([]int, tasks)
-		e.consumers[s] = make([][]taskRef, tasks)
-		e.tasksLeft += tasks
+		r.done[s] = r.doneFlat[off : off+tasks]
+		r.remDeps[s] = r.remFlat[off : off+tasks]
+		r.attempts[s] = r.attemptsFlat[off : off+tasks]
+		r.queuedAt[s] = r.queuedFlat[off : off+tasks]
+		r.dispatchedAt[s] = r.dispatchedFlat[off : off+tasks]
+		r.startedAt[s] = r.startedFlat[off : off+tasks]
+		r.consumers[s] = make([][]taskRef, tasks)
+		off += tasks
 	}
 	// Dependency counts: one unit per one-to-one producer task in range,
 	// plus one unit per all-to-all input edge (satisfied when the producer
 	// stage completes).
+	baseDeps := r.remDeps // fill the views, then snapshot into baseDeps
 	for s := 0; s < n; s++ {
 		for _, edge := range job.Inputs(s) {
 			for task := 0; task < job.Stages[s].Tasks; task++ {
 				if edge.Kind == dag.AllToAll {
-					e.remDeps[s][task]++
+					baseDeps[s][task]++
 					continue
 				}
 				lo, hi := job.DepRange(edge, task)
-				e.remDeps[s][task] += hi - lo
+				baseDeps[s][task] += hi - lo
 				for i := lo; i < hi; i++ {
-					e.consumers[edge.From][i] = append(e.consumers[edge.From][i], taskRef{s, task})
+					r.consumers[edge.From][i] = append(r.consumers[edge.From][i], taskRef{s, task})
 				}
 			}
 		}
 	}
-	e.applyInitialState()
-	for s := 0; s < n; s++ {
-		for task := 0; task < job.Stages[s].Tasks; task++ {
-			if e.remDeps[s][task] == 0 && !e.done[s][task] {
-				e.markReady(s, task)
+	copy(r.baseDeps, r.remFlat)
+}
+
+// reset reinitializes the per-run state in place: counters and flags are
+// cleared, dependency counts restored from baseDeps, the ready FIFO, event
+// queue, trace and RNG rewound. Nothing allocates once the arenas exist.
+func (r *Runner) reset() {
+	clear(r.doneFlat)
+	copy(r.remFlat, r.baseDeps)
+	clear(r.attemptsFlat)
+	clear(r.queuedFlat)
+	clear(r.dispatchedFlat)
+	clear(r.startedFlat)
+	clear(r.doneCount)
+	r.ready = r.ready[:0]
+	r.readyHead = 0
+	r.q.Reset()
+	r.tr.Reset(r.job.Name, r.job.NumStages())
+	stats.ReseedSource(r.src, r.cfg.Seed)
+	r.now = 0
+	r.running = 0
+	r.tasksLeft = r.totalTasks
+
+	r.applyInitialState()
+	for s := 0; s < r.job.NumStages(); s++ {
+		for task := 0; task < r.job.Stages[s].Tasks; task++ {
+			if r.remDeps[s][task] == 0 && !r.done[s][task] {
+				r.markReady(s, task)
 			}
 		}
 	}
-	if e.cfg.SampleEvery > 0 && e.cfg.OnSample != nil {
-		e.q.Push(e.cfg.SampleEvery, event{kind: evSample})
+	if r.cfg.SampleEvery > 0 && r.cfg.OnSample != nil {
+		r.q.Push(r.cfg.SampleEvery, event{kind: evSample})
 	}
 }
 
 // applyInitialState pre-completes tasks according to InitialFracDone,
 // propagating dependency satisfaction exactly as live completions would.
-func (e *engine) applyInitialState() {
-	fracs := e.cfg.InitialFracDone
+func (r *Runner) applyInitialState() {
+	fracs := r.cfg.InitialFracDone
 	if fracs == nil {
 		return
 	}
-	job := e.job
+	job := r.job
 	// First mark per-task completions and satisfy one-to-one consumers.
 	// Run validated len(fracs) == NumStages before the engine was built.
 	for s := 0; s < job.NumStages(); s++ {
@@ -210,17 +326,17 @@ func (e *engine) applyInitialState() {
 			k = job.Stages[s].Tasks
 		}
 		for task := 0; task < k; task++ {
-			e.done[s][task] = true
-			e.doneCount[s]++
-			e.tasksLeft--
-			for _, c := range e.consumers[s][task] {
-				e.remDeps[c.stage][c.task]--
+			r.done[s][task] = true
+			r.doneCount[s]++
+			r.tasksLeft--
+			for _, c := range r.consumers[s][task] {
+				r.remDeps[c.stage][c.task]--
 			}
 		}
 	}
 	// Then satisfy all-to-all consumers of fully completed stages.
 	for s := 0; s < job.NumStages(); s++ {
-		if e.doneCount[s] != job.Stages[s].Tasks {
+		if r.doneCount[s] != job.Stages[s].Tasks {
 			continue
 		}
 		for _, edge := range job.Outputs(s) {
@@ -228,146 +344,156 @@ func (e *engine) applyInitialState() {
 				continue
 			}
 			for t := 0; t < job.Stages[edge.To].Tasks; t++ {
-				e.remDeps[edge.To][t]--
+				r.remDeps[edge.To][t]--
 			}
 		}
 	}
 }
 
-func (e *engine) markReady(stage, task int) {
-	e.queuedAt[stage][task] = e.now
-	e.ready = append(e.ready, taskRef{stage, task})
+func (r *Runner) markReady(stage, task int) {
+	r.queuedAt[stage][task] = r.now
+	r.ready = append(r.ready, taskRef{stage, task})
 }
 
-func (e *engine) popReady() (taskRef, bool) {
-	if e.readyHead >= len(e.ready) {
+// popReady dequeues the oldest ready task. The FIFO is a slice plus a head
+// index; consumed entries are compacted away (a copy-down, preserving
+// order) only once at least readyCompactMin entries are dead AND they make
+// up at least half the slice, so the amortized cost per task stays O(1)
+// and the backing array stops growing at the job's high-water ready count.
+// Compaction is content-preserving, so it cannot affect simulation
+// results, and reset rewinds head and length while keeping capacity.
+func (r *Runner) popReady() (taskRef, bool) {
+	if r.readyHead >= len(r.ready) {
 		return taskRef{}, false
 	}
-	r := e.ready[e.readyHead]
-	e.readyHead++
-	// Compact occasionally so the queue does not grow without bound.
-	if e.readyHead > 1024 && e.readyHead*2 > len(e.ready) {
-		e.ready = append(e.ready[:0], e.ready[e.readyHead:]...)
-		e.readyHead = 0
+	t := r.ready[r.readyHead]
+	r.readyHead++
+	if r.readyHead >= readyCompactMin && r.readyHead*2 >= len(r.ready) {
+		n := copy(r.ready, r.ready[r.readyHead:])
+		r.ready = r.ready[:n]
+		r.readyHead = 0
 	}
-	return r, true
+	return t, true
 }
 
-func (e *engine) readyLen() int { return len(e.ready) - e.readyHead }
+func (r *Runner) readyLen() int { return len(r.ready) - r.readyHead }
 
 // dispatch starts ready tasks while tokens are available.
-func (e *engine) dispatch() {
-	for e.running < e.cfg.Alloc {
-		r, ok := e.popReady()
+func (r *Runner) dispatch() {
+	for r.running < r.cfg.Alloc {
+		t, ok := r.popReady()
 		if !ok {
 			return
 		}
-		e.startTask(r.stage, r.task)
+		r.startTask(t.stage, t.task)
 	}
 }
 
-func (e *engine) startTask(stage, task int) {
-	sp := &e.p.Stages[stage]
-	initDelay := sp.Queue.Sample(e.rng)
-	exec := sp.Exec.Sample(e.rng)
+func (r *Runner) startTask(stage, task int) {
+	sp := &r.p.Stages[stage]
+	initDelay := sp.Queue.Sample(r.rng)
+	exec := sp.Exec.Sample(r.rng)
 	if exec <= 0 {
 		exec = time.Millisecond
 	}
 	fails := false
-	if !e.cfg.DisableFailures && e.attempts[stage][task] < e.maxA-1 && sp.FailureProb > 0 {
-		fails = e.rng.Float64() < sp.FailureProb
+	if !r.cfg.DisableFailures && r.attempts[stage][task] < r.maxA-1 && sp.FailureProb > 0 {
+		fails = r.rng.Float64() < sp.FailureProb
 	}
 	if fails {
 		// A failing attempt dies partway through its service time.
-		exec = time.Duration(float64(exec) * e.rng.Float64())
+		exec = time.Duration(float64(exec) * r.rng.Float64())
 		if exec <= 0 {
 			exec = time.Millisecond
 		}
 	}
-	e.dispatchedAt[stage][task] = e.now
-	e.startedAt[stage][task] = e.now + initDelay
-	e.running++
-	e.q.Push(e.now+initDelay+exec, event{kind: evTaskEnd, stage: stage, task: task, failed: fails})
+	r.dispatchedAt[stage][task] = r.now
+	r.startedAt[stage][task] = r.now + initDelay
+	r.running++
+	r.q.Push(r.now+initDelay+exec, event{kind: evTaskEnd, stage: stage, task: task, failed: fails})
 }
 
-func (e *engine) run() error {
-	e.dispatch()
-	for e.tasksLeft > 0 {
-		at, ev, ok := e.q.Pop()
+func (r *Runner) run() error {
+	r.dispatch()
+	for r.tasksLeft > 0 {
+		at, ev, ok := r.q.Pop()
 		if !ok {
 			return fmt.Errorf("sim: job %q stalled at %v with %d tasks left (plan bug?)",
-				e.job.Name, e.now, e.tasksLeft)
+				r.job.Name, r.now, r.tasksLeft)
 		}
-		e.now = at
+		r.now = at
 		switch ev.kind {
 		case evSample:
-			e.emitSample()
-			if e.tasksLeft > 0 {
-				e.q.Push(e.now+e.cfg.SampleEvery, event{kind: evSample})
+			r.emitSample()
+			if r.tasksLeft > 0 {
+				r.q.Push(r.now+r.cfg.SampleEvery, event{kind: evSample})
 			}
 		case evTaskEnd:
-			e.finishTask(ev)
+			r.finishTask(ev)
 		}
 	}
-	e.tr.Completion = e.now
+	r.tr.Completion = r.now
 	return nil
 }
 
-func (e *engine) emitSample() {
-	frac := make([]float64, e.job.NumStages())
-	for s := range frac {
-		frac[s] = float64(e.doneCount[s]) / float64(e.job.Stages[s].Tasks)
+func (r *Runner) emitSample() {
+	frac := r.fracBuf
+	if r.snapshotCopy {
+		frac = make([]float64, r.job.NumStages())
 	}
-	e.cfg.OnSample(Snapshot{
-		Time:     e.now,
+	for s := range frac {
+		frac[s] = float64(r.doneCount[s]) / float64(r.job.Stages[s].Tasks)
+	}
+	r.cfg.OnSample(Snapshot{
+		Time:     r.now,
 		FracDone: frac,
-		Running:  e.running,
-		Ready:    e.readyLen(),
+		Running:  r.running,
+		Ready:    r.readyLen(),
 	})
 }
 
-func (e *engine) finishTask(ev event) {
+func (r *Runner) finishTask(ev event) {
 	stage, task := ev.stage, ev.task
-	e.running--
-	e.tr.AddTask(trace.TaskEvent{
+	r.running--
+	r.tr.AddTask(trace.TaskEvent{
 		Stage:      stage,
 		Task:       task,
-		Attempt:    e.attempts[stage][task],
-		Queued:     e.queuedAt[stage][task],
-		Dispatched: e.dispatchedAt[stage][task],
-		Started:    e.startedAt[stage][task],
-		Ended:      e.now,
+		Attempt:    r.attempts[stage][task],
+		Queued:     r.queuedAt[stage][task],
+		Dispatched: r.dispatchedAt[stage][task],
+		Started:    r.startedAt[stage][task],
+		Ended:      r.now,
 		Failed:     ev.failed,
 	})
 	if ev.failed {
-		e.attempts[stage][task]++
-		e.markReady(stage, task)
-		e.dispatch()
+		r.attempts[stage][task]++
+		r.markReady(stage, task)
+		r.dispatch()
 		return
 	}
-	e.done[stage][task] = true
-	e.doneCount[stage]++
-	e.tasksLeft--
+	r.done[stage][task] = true
+	r.doneCount[stage]++
+	r.tasksLeft--
 	// Satisfy one-to-one consumers of this task.
-	for _, c := range e.consumers[stage][task] {
-		e.remDeps[c.stage][c.task]--
-		if e.remDeps[c.stage][c.task] == 0 {
-			e.markReady(c.stage, c.task)
+	for _, c := range r.consumers[stage][task] {
+		r.remDeps[c.stage][c.task]--
+		if r.remDeps[c.stage][c.task] == 0 {
+			r.markReady(c.stage, c.task)
 		}
 	}
 	// Satisfy all-to-all consumers if the stage just completed.
-	if e.doneCount[stage] == e.job.Stages[stage].Tasks {
-		for _, edge := range e.job.Outputs(stage) {
+	if r.doneCount[stage] == r.job.Stages[stage].Tasks {
+		for _, edge := range r.job.Outputs(stage) {
 			if edge.Kind != dag.AllToAll {
 				continue
 			}
-			for t := 0; t < e.job.Stages[edge.To].Tasks; t++ {
-				e.remDeps[edge.To][t]--
-				if e.remDeps[edge.To][t] == 0 {
-					e.markReady(edge.To, t)
+			for t := 0; t < r.job.Stages[edge.To].Tasks; t++ {
+				r.remDeps[edge.To][t]--
+				if r.remDeps[edge.To][t] == 0 {
+					r.markReady(edge.To, t)
 				}
 			}
 		}
 	}
-	e.dispatch()
+	r.dispatch()
 }

@@ -16,9 +16,24 @@ import (
 // NewRNG returns a deterministic pseudo-random generator for the given seed.
 // Two generators created with the same seed produce identical streams.
 func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(NewSource(seed))
+}
+
+// NewSource returns the seeded PCG source underlying NewRNG. Callers that
+// re-seed a long-lived generator (sim.Runner runs thousands of simulations
+// on one *rand.Rand) keep the source and call ReseedSource between runs;
+// the stream after a reseed is bit-identical to a fresh NewRNG(seed).
+func NewSource(seed uint64) *rand.PCG {
 	// Decorrelate the two PCG lanes so that nearby seeds (0, 1, 2, ...) do
 	// not produce visibly correlated streams.
-	return rand.New(rand.NewPCG(SplitMix64(seed), SplitMix64(seed^0x9e3779b97f4a7c15)))
+	return rand.NewPCG(SplitMix64(seed), SplitMix64(seed^0x9e3779b97f4a7c15))
+}
+
+// ReseedSource resets src to the state NewSource(seed) would create,
+// without allocating. rand.Rand in math/rand/v2 keeps no buffered state of
+// its own, so reseeding the source re-seeds any Rand wrapping it.
+func ReseedSource(src *rand.PCG, seed uint64) {
+	src.Seed(SplitMix64(seed), SplitMix64(seed^0x9e3779b97f4a7c15))
 }
 
 // SplitMix64 advances the SplitMix64 state x and returns the mixed output.

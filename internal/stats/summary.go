@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -185,6 +186,15 @@ func (rv *Reservoir) Add(v time.Duration, r interface{ Int64N(int64) int64 }) {
 	if j := r.Int64N(rv.seen); j < int64(rv.cap) {
 		rv.vals[j] = v
 	}
+}
+
+// Sort orders the retained samples ascending, in place. The C(p, a) table
+// sorts every cell once after construction so that quantile queries index
+// the sorted slice directly instead of copying and re-sorting per query.
+// Algorithm R does not depend on element order, so Add remains correct
+// after a Sort (though the table never adds post-build).
+func (rv *Reservoir) Sort() {
+	slices.Sort(rv.vals)
 }
 
 // Len returns the number of retained samples.

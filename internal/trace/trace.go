@@ -70,6 +70,19 @@ func New(jobName string, numStages int) *JobTrace {
 	return &JobTrace{JobName: jobName, NumStages: numStages}
 }
 
+// Reset clears the trace in place for reuse, keeping the Events and
+// Timeline capacity. A reusable simulation engine (sim.Runner) records
+// thousands of traces into one JobTrace; after the first few runs the
+// backing arrays reach their high-water size and recording stops
+// allocating.
+func (t *JobTrace) Reset(jobName string, numStages int) {
+	t.JobName = jobName
+	t.NumStages = numStages
+	t.Events = t.Events[:0]
+	t.Timeline = t.Timeline[:0]
+	t.Completion = 0
+}
+
 // AddTask appends a task-attempt event.
 func (t *JobTrace) AddTask(e TaskEvent) { t.Events = append(t.Events, e) }
 

@@ -290,6 +290,18 @@ type (
 // Simulate runs the offline job simulator once and returns the trace.
 func Simulate(cfg SimConfig) (*JobTrace, error) { return sim.Run(cfg) }
 
+// SimRunner is a reusable simulation engine: the first Run against a job
+// plan allocates the engine's arenas, subsequent Runs against the same
+// plan reset them in place and are allocation-free. Results are
+// bit-identical to Simulate. Not safe for concurrent use — hold one per
+// goroutine. The returned trace and the snapshots handed to
+// SimConfig.OnSample are valid only until the next Run.
+type SimRunner = sim.Runner
+
+// NewSimRunner creates a reusable simulation engine for loops that run
+// many simulations of the same job (model sweeps, what-if analysis).
+func NewSimRunner() *SimRunner { return sim.NewRunner() }
+
 // Oracle returns the theoretical minimum allocation ⌈T/d⌉ for total work T
 // and deadline d.
 func Oracle(totalWork, deadline time.Duration) int { return model.Oracle(totalWork, deadline) }

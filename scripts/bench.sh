@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator-core hot-path benchmarks and emit a
+# machine-readable BENCH_simcore.json so the perf trajectory is tracked
+# PR-over-PR (CI uploads the file as a non-gating artifact).
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Tracked benchmarks (the ones the acceptance criteria of the hot-path PR
+# pinned, plus the pre-existing throughput benchmark for continuity):
+#   internal/sim:    BenchmarkSimRun            (fresh engine vs reused Runner)
+#   internal/eventq: BenchmarkEventQueue        (steady-state Push+Pop)
+#   internal/model:  BenchmarkCPAQuery          (Remaining / ExpectedUtility)
+#   internal/model:  BenchmarkOnlineSimTick     (per-tick online prediction)
+#   root:            BenchmarkSimulatorThroughput (job F, 6139 vertices)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_simcore.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run NONE -bench "$2" -benchmem -benchtime "${BENCHTIME:-1s}" -count 1 "$1" | tee -a "$TMP"
+}
+
+: >"$TMP"
+run ./internal/sim 'BenchmarkSimRun'
+run ./internal/eventq 'BenchmarkEventQueue'
+run ./internal/model 'BenchmarkCPAQuery|BenchmarkOnlineSimTick'
+run . 'BenchmarkSimulatorThroughput'
+
+# Parse `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op [extra metrics]`
+# into JSON. awk keeps the script dependency-free (no jq in the container).
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name) # strip GOMAXPROCS suffix
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i + 1) == "ns/op") ns = $i
+    if ($(i + 1) == "B/op") bytes = $i
+    if ($(i + 1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+  if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+  line = line "}"
+  rows[n++] = line
+}
+END {
+  printf "{\n  \"suite\": \"simcore\",\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
+  for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+  printf "  ]\n}\n"
+}' "$TMP" >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-out DIR] [-quick] [-run LIST] [-parallelism N]
+//	experiments [-seed N] [-out DIR] [-quick] [-run LIST] [-parallelism N] [-parallel N]
 //
 // -run selects a comma-separated subset of:
 // table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2,robustness
@@ -29,6 +29,7 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller run counts (for smoke testing)")
 		run   = flag.String("run", "", "comma-separated experiment subset (default: all)")
 		par   = flag.Int("parallelism", 0, "worker pool size for offline model simulations (0 = GOMAXPROCS); results are identical at any value")
+		gpar  = flag.Int("parallel", 0, "worker pool size for experiment grid points (0 = GOMAXPROCS); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 
 	env := experiments.NewEnv(*seed)
 	env.Parallelism = *par
+	env.GridParallel = *gpar
 	seeds := 3
 	t1runs := 12
 	fig8Runs := 3

@@ -213,6 +213,12 @@ type JobConfig struct {
 	OnSample func(at time.Duration, st model.State)
 	// SamplePeriod is the OnSample period (default 1 minute).
 	SamplePeriod time.Duration
+	// NoTrace suppresses the task-event trace of a Tracked job. The run
+	// still blocks Run until completion and produces a full Result; only
+	// Result.Trace stays nil. Reused-engine benchmarks and steady-state
+	// allocation guards use this, since a trace must outlive the run and
+	// therefore cannot come from a reusable arena.
+	NoTrace bool
 }
 
 // Result summarizes one job's execution.
@@ -268,12 +274,14 @@ func (h *Handle) Result() Result { return h.c.jobs[h.id].result }
 // Name returns the job's plan name.
 func (h *Handle) Name() string { return h.cfg.Profile.Job.Name }
 
-// Cluster is the simulator instance. Create with New, submit jobs, then Run.
+// Cluster is the simulator instance. Create with New (one-shot) or via
+// Engine.Reset (reusable arenas), submit jobs, then Run.
 type Cluster struct {
-	cfg Config
-	rng *rand.Rand
-	q   eventq.Queue[event]
-	now time.Duration
+	cfg    Config
+	rng    *rand.Rand
+	rngSrc *rand.PCG // retained so Engine.Reset can reseed without allocating
+	q      eventq.Queue[event]
+	now    time.Duration
 
 	machines []machine
 	jobs     []*jobRun
@@ -281,6 +289,17 @@ type Cluster struct {
 
 	utilSamples  []utilSample
 	lastUtilTime time.Duration
+
+	// eng is non-nil when this cluster is owned by a reusable Engine, which
+	// then pools jobRun arenas and runningTask records across runs.
+	eng *Engine
+
+	// Scheduling scratch buffers, reused across events so the hot path
+	// (reclassify / dispatch / locality lookup, which run on nearly every
+	// event) does not allocate. Their contents never outlive one call.
+	scratchTasks    []*runningTask
+	scratchJobs     []*jobRun
+	scratchReplicas []int
 }
 
 type utilSample struct {
@@ -300,14 +319,38 @@ type machine struct {
 
 // New creates an empty cluster.
 func New(cfg Config) (*Cluster, error) {
-	if err := cfg.fill(); err != nil {
+	c := &Cluster{}
+	if err := c.init(cfg); err != nil {
 		return nil, err
 	}
-	c := &Cluster{
-		cfg: cfg,
-		rng: stats.NewRNG(stats.DeriveSeed(cfg.Seed, "cluster")),
+	return c, nil
+}
+
+// init (re)initializes the cluster for cfg. It is shared by New and
+// Engine.Reset; on the reuse path every backing array keeps its capacity
+// and the RNG stream after the reseed is bit-identical to a fresh one.
+func (c *Cluster) init(cfg Config) error {
+	if err := cfg.fill(); err != nil {
+		return err
 	}
-	c.machines = make([]machine, cfg.Machines)
+	c.cfg = cfg
+	seed := stats.DeriveSeed(cfg.Seed, "cluster")
+	if c.rngSrc == nil {
+		c.rngSrc = stats.NewSource(seed)
+		c.rng = rand.New(c.rngSrc)
+	} else {
+		stats.ReseedSource(c.rngSrc, seed)
+	}
+	c.q.Reset()
+	c.now = 0
+	c.tracked = 0
+	c.jobs = c.jobs[:0] // arenas were recycled by Engine.Reset
+	c.utilSamples = c.utilSamples[:0]
+	c.lastUtilTime = 0
+	if cap(c.machines) < cfg.Machines {
+		c.machines = make([]machine, cfg.Machines)
+	}
+	c.machines = c.machines[:cfg.Machines]
 	for i := range c.machines {
 		c.machines[i] = machine{up: true, slots: cfg.SlotsPerMachine}
 	}
@@ -323,7 +366,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.q.Push(w.From, event{kind: evContention})
 		c.q.Push(w.To, event{kind: evContention})
 	}
-	return c, nil
+	return nil
 }
 
 // Capacity returns the current total token capacity of up machines.
@@ -411,7 +454,14 @@ func (c *Cluster) Submit(cfg JobConfig) (*Handle, error) {
 		}
 	}
 	id := len(c.jobs)
-	jr := newJobRun(id, cfg, stats.DeriveSeed(c.cfg.Seed, "job", fmt.Sprint(id)))
+	var jr *jobRun
+	if c.eng != nil {
+		jr = c.eng.takeArena(cfg.Profile.Job)
+	}
+	if jr == nil {
+		jr = newArena(cfg.Profile.Job)
+	}
+	jr.prepare(id, cfg, stats.DeriveSeed(c.cfg.Seed, "job", fmt.Sprint(id)))
 	c.jobs = append(c.jobs, jr)
 	if cfg.Tracked {
 		c.tracked++
@@ -429,13 +479,17 @@ func SLODefaults(max int) []int {
 	return out
 }
 
-// jobRun is the runtime state of one submitted job.
+// jobRun is the runtime state of one submitted job. It is split into an
+// arena part — everything whose size depends only on the plan (*dag.Job),
+// allocated once by newArena and poolable across runs by Engine — and
+// per-run state, (re)set in place by prepare.
 type jobRun struct {
-	id  int
-	cfg JobConfig
-	p   *profile.Profile
-	job *dag.Job
-	rng *rand.Rand
+	id     int
+	cfg    JobConfig
+	p      *profile.Profile
+	job    *dag.Job
+	rng    *rand.Rand
+	rngSrc *rand.PCG
 
 	arrived   bool
 	completed bool
@@ -451,10 +505,13 @@ type jobRun struct {
 	done      [][]bool
 	doneCount []int
 	remDeps   [][]int
-	queuedAt  [][]time.Duration
-	attempts  [][]int
-	consumers [][][]taskRef
-	tasksLeft int
+	// baseRemDeps is the dependency count of every task at job start,
+	// derived once from the plan; prepare restores remDeps from it.
+	baseRemDeps [][]int
+	queuedAt    [][]time.Duration
+	attempts    [][]int
+	consumers   [][][]taskRef
+	tasksLeft   int
 
 	running map[taskKey]*runningTask
 	// dups holds at most one speculative duplicate per task (straggler
@@ -494,54 +551,43 @@ type runningTask struct {
 	spawnedGuar bool          // token class at dispatch, for accounting
 }
 
-func newJobRun(id int, cfg JobConfig, seed uint64) *jobRun {
+// newArena allocates the plan-shape-dependent state of a jobRun: slice
+// sizes and the consumer graph depend only on the *dag.Job, so an arena is
+// reusable across runs of any job sharing that plan (profiles may differ —
+// a scaled input keeps the plan). Per-run state is set by prepare.
+func newArena(job *dag.Job) *jobRun {
 	jr := &jobRun{
-		id:        id,
-		cfg:       cfg,
-		p:         cfg.Profile,
-		job:       cfg.Profile.Job,
-		rng:       stats.NewRNG(seed),
-		guarantee: cfg.Guarantee,
-		deadline:  cfg.Deadline,
-		running:   make(map[taskKey]*runningTask),
-		dups:      make(map[taskKey]*runningTask),
+		job:     job,
+		running: make(map[taskKey]*runningTask),
+		dups:    make(map[taskKey]*runningTask),
 	}
-	if cfg.SpeculativeThreshold > 0 {
-		jr.stageP90 = make([]time.Duration, cfg.Profile.Job.NumStages())
-		for s := range jr.stageP90 {
-			jr.stageP90[s] = cfg.Profile.Stages[s].Exec.Quantile(0.9)
-		}
-	}
-	jr.driftFactor = make([]float64, cfg.Profile.Job.NumStages())
-	for s := range jr.driftFactor {
-		jr.driftFactor[s] = 1
-	}
-	job := jr.job
 	n := job.NumStages()
 	jr.done = make([][]bool, n)
 	jr.doneCount = make([]int, n)
 	jr.remDeps = make([][]int, n)
+	jr.baseRemDeps = make([][]int, n)
 	jr.queuedAt = make([][]time.Duration, n)
 	jr.attempts = make([][]int, n)
 	jr.consumers = make([][][]taskRef, n)
+	jr.driftFactor = make([]float64, n)
 	for s := 0; s < n; s++ {
 		tasks := job.Stages[s].Tasks
 		jr.done[s] = make([]bool, tasks)
 		jr.remDeps[s] = make([]int, tasks)
+		jr.baseRemDeps[s] = make([]int, tasks)
 		jr.queuedAt[s] = make([]time.Duration, tasks)
 		jr.attempts[s] = make([]int, tasks)
 		jr.consumers[s] = make([][]taskRef, tasks)
-		jr.tasksLeft += tasks
 	}
 	for s := 0; s < n; s++ {
 		for _, edge := range job.Inputs(s) {
 			for task := 0; task < job.Stages[s].Tasks; task++ {
 				if edge.Kind == dag.AllToAll {
-					jr.remDeps[s][task]++
+					jr.baseRemDeps[s][task]++
 					continue
 				}
 				lo, hi := job.DepRange(edge, task)
-				jr.remDeps[s][task] += hi - lo
+				jr.baseRemDeps[s][task] += hi - lo
 				for i := lo; i < hi; i++ {
 					jr.consumers[edge.From][i] = append(jr.consumers[edge.From][i], taskRef{s, task})
 				}
@@ -549,6 +595,57 @@ func newJobRun(id int, cfg JobConfig, seed uint64) *jobRun {
 		}
 	}
 	return jr
+}
+
+// prepare (re)sets the per-run state for one submission, leaving the arena
+// allocations in place. The reseeded RNG stream is bit-identical to a fresh
+// one, so a pooled arena replays exactly like a newly allocated jobRun.
+// queuedAt deliberately keeps stale values: markReady writes an entry
+// before any dispatch or trace read of it.
+func (jr *jobRun) prepare(id int, cfg JobConfig, seed uint64) {
+	jr.id = id
+	jr.cfg = cfg
+	jr.p = cfg.Profile
+	if jr.rngSrc == nil {
+		jr.rngSrc = stats.NewSource(seed)
+		jr.rng = rand.New(jr.rngSrc)
+	} else {
+		stats.ReseedSource(jr.rngSrc, seed)
+	}
+	jr.arrived = false
+	jr.completed = false
+	jr.start = 0
+	jr.result = Result{}
+	jr.guarantee = cfg.Guarantee
+	jr.deadline = cfg.Deadline
+	jr.ready = jr.ready[:0]
+	jr.readyHead = 0
+	jr.tasksLeft = 0
+	for s := range jr.done {
+		clear(jr.done[s])
+		jr.doneCount[s] = 0
+		copy(jr.remDeps[s], jr.baseRemDeps[s])
+		clear(jr.attempts[s])
+		jr.driftFactor[s] = 1
+		jr.tasksLeft += jr.job.Stages[s].Tasks
+	}
+	jr.stageP90 = jr.stageP90[:0]
+	if cfg.SpeculativeThreshold > 0 {
+		for s := 0; s < jr.job.NumStages(); s++ {
+			jr.stageP90 = append(jr.stageP90, cfg.Profile.Stages[s].Exec.Quantile(0.9))
+		}
+	}
+	jr.lastAllocAt = 0
+	jr.allocSecs = 0
+	jr.usedSecs = 0
+	jr.spareDone = 0
+	jr.guarDone = 0
+	jr.evictions = 0
+	jr.duplicates = 0
+	jr.spareCredit = 0
+	jr.rootDone = 0
+	jr.localDone = 0
+	jr.nextChange = 0
 }
 
 func (jr *jobRun) fracDone() []float64 {

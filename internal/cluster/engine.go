@@ -1,8 +1,9 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
@@ -117,7 +118,9 @@ func (c *Cluster) handleArrival(id int) {
 	jr.arrived = true
 	jr.start = c.now
 	jr.lastAllocAt = c.now
-	if jr.cfg.Tracked {
+	if jr.cfg.Tracked && !jr.cfg.NoTrace {
+		// Traces outlive the run (results retain them), so they are always
+		// freshly allocated, never pooled.
 		jr.result.Trace = trace.New(jr.job.Name, jr.job.NumStages())
 	}
 	for s := 0; s < jr.job.NumStages(); s++ {
@@ -314,6 +317,7 @@ func (c *Cluster) handleTaskEnd(ev event) {
 	c.recordAttempt(jr, rt, c.now, ev.failed)
 	sibling, siblingDup := jr.sibling(key, ev.dup)
 	if ev.failed {
+		c.freeRunningTask(rt)
 		if sibling != nil {
 			// The other copy carries on; nothing to requeue.
 			c.reschedule()
@@ -342,6 +346,7 @@ func (c *Cluster) handleTaskEnd(ev event) {
 			}
 		}
 	}
+	c.freeRunningTask(rt)
 	jr.done[ev.stage][ev.task] = true
 	jr.doneCount[ev.stage]++
 	jr.tasksLeft--
@@ -460,7 +465,7 @@ func (c *Cluster) killMachine(mi int) {
 		if !jr.arrived || jr.completed {
 			continue
 		}
-		var victims []*runningTask
+		victims := c.scratchTasks[:0]
 		for _, rt := range jr.running {
 			if rt.machine == mi {
 				victims = append(victims, rt)
@@ -472,10 +477,11 @@ func (c *Cluster) killMachine(mi int) {
 			}
 		}
 		// Map iteration order is random; sort for deterministic replay.
-		sort.Slice(victims, func(i, j int) bool { return lessTask(victims[i], victims[j]) })
+		slices.SortFunc(victims, cmpTask)
 		for _, rt := range victims {
 			c.evictTask(jr, rt)
 		}
+		c.scratchTasks = victims
 	}
 	c.machines[mi].used = 0
 }
@@ -506,6 +512,7 @@ func (c *Cluster) cancelCopy(jr *jobRun, key taskKey, rt *runningTask, isDup boo
 	}
 	c.machines[rt.machine].used--
 	c.recordAttempt(jr, rt, c.now, true)
+	c.freeRunningTask(rt)
 }
 
 // evictTask kills a running task attempt: its work is lost and the pending
@@ -520,20 +527,21 @@ func (c *Cluster) evictTask(jr *jobRun, rt *runningTask) {
 		if _, ok := jr.running[key]; !ok {
 			// The duplicate was the only live copy (the primary had already
 			// failed or been evicted): requeue the task.
-			jr.attempts[rt.stage][rt.task]++
-			jr.markReady(c.now, rt.stage, rt.task)
+			jr.attempts[key.stage][key.task]++
+			jr.markReady(c.now, key.stage, key.task)
 		}
 		return
 	}
 	delete(jr.running, key)
 	c.machines[rt.machine].used--
 	c.recordAttempt(jr, rt, c.now, true)
+	c.freeRunningTask(rt)
 	if _, ok := jr.dups[key]; ok {
 		// The duplicate carries on; no requeue.
 		return
 	}
-	jr.attempts[rt.stage][rt.task]++
-	jr.markReady(c.now, rt.stage, rt.task)
+	jr.attempts[key.stage][key.task]++
+	jr.markReady(c.now, key.stage, key.task)
 }
 
 func (c *Cluster) handleMachineRecover(mi int) {
@@ -561,8 +569,8 @@ func (c *Cluster) replicaMachines(jr *jobRun, stage, task int) []int {
 		return nil // only root stages read DFS partitions directly
 	}
 	n := len(c.machines)
-	h := stats.DeriveSeed(uint64(jr.id)<<32|uint64(stage), fmt.Sprint(task))
-	out := make([]int, 0, c.cfg.Replicas)
+	h := stats.DeriveSeedInt(uint64(jr.id)<<32|uint64(stage), task)
+	out := c.scratchReplicas[:0]
 	stride := 1
 	if n > 1 {
 		stride = 1 + int((h>>40)%uint64(n-1))
@@ -571,6 +579,7 @@ func (c *Cluster) replicaMachines(jr *jobRun, stage, task int) []int {
 	for i := 0; i < c.cfg.Replicas && i < n; i++ {
 		out = append(out, (first+i*stride)%n)
 	}
+	c.scratchReplicas = out
 	return out
 }
 
@@ -614,35 +623,42 @@ func (c *Cluster) reclassify() {
 		if !jr.arrived || jr.completed || len(jr.running) == 0 {
 			continue
 		}
-		tasks := make([]*runningTask, 0, len(jr.running))
+		tasks := c.scratchTasks[:0]
 		for _, rt := range jr.running {
 			tasks = append(tasks, rt)
 		}
-		// Deterministic order despite the map walk: lessTask is a total
+		// Deterministic order despite the map walk: cmpTask is a total
 		// order (start time, then stage/task position, which is unique).
-		sort.Slice(tasks, func(i, j int) bool { return lessTask(tasks[i], tasks[j]) })
+		slices.SortFunc(tasks, cmpTask)
 		eff := c.effectiveGuarantee(jr)
 		for i, rt := range tasks {
 			rt.guaranteed = i < eff
 		}
+		c.scratchTasks = tasks
 	}
 }
 
-func lessTask(a, b *runningTask) bool {
+// cmpTask totally orders running tasks by start time, then stage/task
+// position. Within one job a primary and its duplicate cannot share a start
+// time (speculation requires elapsed progress), so the order has no ties and
+// an unstable sort is deterministic.
+func cmpTask(a, b *runningTask) int {
 	if a.startedAt != b.startedAt {
-		return a.startedAt < b.startedAt
+		return cmp.Compare(a.startedAt, b.startedAt)
 	}
 	if a.stage != b.stage {
-		return a.stage < b.stage
+		return a.stage - b.stage
 	}
-	return a.task < b.task
+	return a.task - b.task
 }
+
+func lessTask(a, b *runningTask) bool { return cmpTask(a, b) < 0 }
 
 // guaranteedOrder returns jobs with tracked (SLO) jobs first, then arrival
 // order: admission control promised SLO jobs their guarantees, so they win
 // when guarantees are over-subscribed.
 func (c *Cluster) guaranteedOrder() []*jobRun {
-	out := make([]*jobRun, 0, len(c.jobs))
+	out := c.scratchJobs[:0]
 	for _, jr := range c.jobs {
 		if jr.cfg.Tracked {
 			out = append(out, jr)
@@ -653,6 +669,7 @@ func (c *Cluster) guaranteedOrder() []*jobRun {
 			out = append(out, jr)
 		}
 	}
+	c.scratchJobs = out
 	return out
 }
 
@@ -722,7 +739,7 @@ func (c *Cluster) dispatchSpare() {
 		// highest-credit job gets the slot, and its credit is charged the
 		// total weight. Over time a job receives spare slots in proportion
 		// to its weight (the cluster's weighted fair sharing).
-		var eligible []*jobRun
+		eligible := c.scratchJobs[:0]
 		totalWeight := 0.0
 		for _, jr := range c.jobs {
 			if !jr.arrived || jr.completed || jr.cfg.NoSpare || jr.readyLen() == 0 {
@@ -731,6 +748,7 @@ func (c *Cluster) dispatchSpare() {
 			eligible = append(eligible, jr)
 			totalWeight += float64(jr.cfg.Weight)
 		}
+		c.scratchJobs = eligible
 		dispatched := false
 		if len(eligible) > 0 {
 			var pick *jobRun
@@ -757,7 +775,9 @@ func (c *Cluster) dispatchSpare() {
 			continue
 		}
 		idle++
-		invariant.Assertf(idle <= 1<<20, "cluster: spare dispatch runaway at t=%v (machine %d)", c.now, mi)
+		if idle > 1<<20 { // guard the Assertf so its args only box on failure
+			invariant.Assertf(false, "cluster: spare dispatch runaway at t=%v (machine %d)", c.now, mi)
+		}
 	}
 }
 
@@ -816,7 +836,8 @@ func (c *Cluster) startDuplicate(jr *jobRun, orig *runningTask, machine int) {
 			exec = time.Millisecond
 		}
 	}
-	rt := &runningTask{
+	rt := c.newRunningTask()
+	*rt = runningTask{
 		stage:     orig.stage,
 		task:      orig.task,
 		attempt:   orig.attempt,
@@ -857,7 +878,8 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 			exec = time.Millisecond
 		}
 	}
-	rt := &runningTask{
+	rt := c.newRunningTask()
+	*rt = runningTask{
 		stage:       r.stage,
 		task:        r.task,
 		attempt:     jr.attempts[r.stage][r.task],

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"github.com/jockeysim/jockey/internal/dag"
+)
+
+// Engine is a reusable cluster simulator: the same shape-allocate-once /
+// reset-in-place idea as sim.Runner (DESIGN.md, "Hot-path performance"),
+// applied to the full shared-cluster replay. One experiment grid point
+// simulates a six-hour horizon with hundreds of background jobs; a fresh
+// Cluster re-allocates every jobRun, running-task record, and scheduling
+// buffer each time. An Engine keeps them:
+//
+//   - jobRun arenas are pooled by plan identity (*dag.Job), so a workload
+//     whose plans are themselves reused across runs (workload.BackgroundPool,
+//     the experiment jobs A..G, the surge tenant) stops allocating per-job
+//     state after the first run;
+//   - runningTask records go through a free list;
+//   - the event queue, machine table, and utilization samples keep their
+//     capacity across Reset.
+//
+// A reset engine is bit-identical in behavior to cluster.New with the same
+// Config: RNG reseeding reproduces fresh streams, and pooled state is fully
+// reinitialized (pinned by TestEngineReuseBitIdentical).
+//
+// An Engine is not safe for concurrent use; the intended pattern is one
+// Engine per grid worker (internal/grid gives tasks their worker index for
+// exactly this).
+type Engine struct {
+	c      Cluster
+	arenas map[*dag.Job][]*jobRun
+	freeRT []*runningTask
+}
+
+// NewEngine returns an empty reusable engine.
+func NewEngine() *Engine {
+	return &Engine{arenas: make(map[*dag.Job][]*jobRun)}
+}
+
+// Reset recycles the previous run's arenas and re-initializes the engine's
+// cluster for cfg, returning it ready for Submit/Run. The returned cluster
+// (and every Handle and Result.Trace obtained from it) is valid until the
+// next Reset; Traces of tracked jobs are freshly allocated and safe to
+// retain across resets.
+func (e *Engine) Reset(cfg Config) (*Cluster, error) {
+	for _, jr := range e.c.jobs {
+		e.recycle(jr)
+	}
+	e.c.jobs = e.c.jobs[:0]
+	if err := e.c.init(cfg); err != nil {
+		return nil, err
+	}
+	e.c.eng = e
+	return &e.c, nil
+}
+
+// recycle returns a jobRun's arena to the pool, releasing any still-running
+// task records (background jobs may be mid-flight when the last tracked job
+// completes and Run returns).
+func (e *Engine) recycle(jr *jobRun) {
+	for k, rt := range jr.running {
+		e.freeRT = append(e.freeRT, rt)
+		delete(jr.running, k)
+	}
+	for k, rt := range jr.dups {
+		e.freeRT = append(e.freeRT, rt)
+		delete(jr.dups, k)
+	}
+	// Drop per-run references that would otherwise pin profiles, policies,
+	// and callbacks in memory between runs.
+	jr.cfg = JobConfig{}
+	jr.p = nil
+	jr.result = Result{}
+	e.arenas[jr.job] = append(e.arenas[jr.job], jr)
+}
+
+// takeArena pops a pooled arena for the plan, or returns nil when none is
+// free (the same plan can be live several times in one run).
+func (e *Engine) takeArena(job *dag.Job) *jobRun {
+	s := e.arenas[job]
+	if len(s) == 0 {
+		return nil
+	}
+	jr := s[len(s)-1]
+	e.arenas[job] = s[:len(s)-1]
+	return jr
+}
+
+// newRunningTask hands out a running-task record, from the engine free list
+// when one is available. The caller overwrites every field.
+func (c *Cluster) newRunningTask() *runningTask {
+	if c.eng != nil {
+		if n := len(c.eng.freeRT); n > 0 {
+			rt := c.eng.freeRT[n-1]
+			c.eng.freeRT = c.eng.freeRT[:n-1]
+			return rt
+		}
+	}
+	return &runningTask{}
+}
+
+// freeRunningTask releases a record after it has been removed from its
+// running/dups map and is no longer referenced. Each record is freed at
+// exactly one site: the event handler that removed it.
+func (c *Cluster) freeRunningTask(rt *runningTask) {
+	if c.eng != nil {
+		c.eng.freeRT = append(c.eng.freeRT, rt)
+	}
+}

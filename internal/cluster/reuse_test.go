@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/control"
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/model"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// reuseScenario is deliberately demanding: machine MTBF failures, a rack
+// outage, a contention window, speculation, a mid-run deadline change, stage
+// drift, a controlled SLO job, and two submissions sharing one plan (so the
+// arena pool must hold multiple live arenas for the same *dag.Job).
+type reuseScenario struct {
+	cfg  Config
+	fg   *profile.Profile
+	bg   *profile.Profile
+	spec *profile.Profile
+}
+
+func newReuseScenario(t testing.TB) *reuseScenario {
+	t.Helper()
+	fgJob := dag.NewBuilder("fg").
+		Stage("m", 24).
+		Stage("r", 6).
+		Edge("m", "r", dag.AllToAll).
+		MustBuild()
+	fg := profile.MustNew(fgJob, []profile.StageProfile{
+		{Exec: stats.LognormalFromMedian(8*time.Second, 25*time.Second),
+			Queue: stats.Exponential{MeanValue: time.Second}, FailureProb: 0.05},
+		{Exec: stats.LognormalFromMedian(15*time.Second, 40*time.Second)},
+	})
+	bgJob := dag.NewBuilder("bg").Stage("work", 120).MustBuild()
+	bg := profile.MustNew(bgJob, []profile.StageProfile{
+		{Exec: stats.LognormalFromMedian(20*time.Second, time.Minute), FailureProb: 0.02},
+	})
+	specJob := dag.NewBuilder("spec").Stage("work", 30).MustBuild()
+	spec := profile.MustNew(specJob, []profile.StageProfile{
+		{Exec: stats.LognormalFromMedian(10*time.Second, 45*time.Second)},
+	})
+	return &reuseScenario{
+		cfg: Config{
+			Machines:        8,
+			SlotsPerMachine: 3,
+			MachineMTBF:     4 * time.Minute,
+			MachineRecovery: stats.Point{V: 45 * time.Second},
+			Seed:            42,
+			RackOutages:     []RackOutage{{At: 2 * time.Minute, FirstMachine: 0, Machines: 3, Duration: time.Minute}},
+			Contention:      []ContentionWindow{{From: 3 * time.Minute, To: 5 * time.Minute, Frac: 0.5}},
+		},
+		fg:   fg,
+		bg:   bg,
+		spec: spec,
+	}
+}
+
+// run submits the scenario's jobs to a prepared cluster and returns every
+// tracked result plus the cluster-level summary numbers.
+func (s *reuseScenario) run(t testing.TB, c *Cluster) ([]Result, time.Duration, float64) {
+	t.Helper()
+	submit := func(cfg JobConfig) *Handle {
+		h, err := c.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	submit(JobConfig{Profile: s.bg, Guarantee: 4})
+	submit(JobConfig{Profile: s.bg, Guarantee: 2, Weight: 2, Start: 90 * time.Second})
+	hs := []*Handle{
+		submit(JobConfig{Profile: s.spec, Guarantee: 3, Deadline: 12 * time.Minute,
+			Tracked: true, SpeculativeThreshold: 1.5, Start: 30 * time.Second,
+			Drifts: []StageDrift{{At: 2 * time.Minute, Stage: -1, Factor: 1.5}}}),
+	}
+	pol, err := control.NewController(control.Config{
+		Predictor:  model.NewAmdahl(s.fg),
+		Utility:    utility.Deadline(10 * time.Minute),
+		Candidates: SLODefaults(12),
+		Slack:      1.1,
+		Hysteresis: 1.0,
+		DeadZone:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs = append(hs, submit(JobConfig{
+		Profile:       s.fg,
+		Policy:        pol,
+		Deadline:      10 * time.Minute,
+		ControlPeriod: 30 * time.Second,
+		Tracked:       true,
+		Start:         time.Minute,
+		DeadlineChanges: []DeadlineChange{
+			{At: 3 * time.Minute, Deadline: 8 * time.Minute},
+		},
+	}))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Result, len(hs))
+	for i, h := range hs {
+		out[i] = h.Result()
+	}
+	return out, c.Now(), c.Utilization()
+}
+
+// TestEngineReuseBitIdentical pins the Engine contract: a reset engine
+// replays a configuration bit-identically to a fresh cluster, including
+// traces, and keeps doing so across repeated resets.
+func TestEngineReuseBitIdentical(t *testing.T) {
+	s := newReuseScenario(t)
+	fresh, err := New(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, wantNow, wantUtil := s.run(t, fresh)
+
+	eng := NewEngine()
+	for round := 0; round < 3; round++ {
+		c, err := eng.Reset(s.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, gotNow, gotUtil := s.run(t, c)
+		if gotNow != wantNow || gotUtil != wantUtil {
+			t.Fatalf("round %d: cluster summary diverged: now %v/%v util %v/%v",
+				round, gotNow, wantNow, gotUtil, wantUtil)
+		}
+		for i := range wantRes {
+			got, want := gotRes[i], wantRes[i]
+			gt, wt := got.Trace, want.Trace
+			got.Trace, want.Trace = nil, nil
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: job %d result diverged:\n got %+v\nwant %+v", round, i, got, want)
+			}
+			if (gt == nil) != (wt == nil) {
+				t.Fatalf("round %d: job %d trace presence diverged", round, i)
+			}
+			if gt != nil && !reflect.DeepEqual(*gt, *wt) {
+				t.Fatalf("round %d: job %d trace diverged (%d/%d events, %d/%d alloc points)",
+					round, i, len(gt.Events), len(wt.Events), len(gt.Timeline), len(wt.Timeline))
+			}
+		}
+	}
+}
+
+// TestEngineTracesSurviveReset pins that a Result.Trace taken from one run is
+// freshly allocated per run: resetting and re-running must not mutate it.
+func TestEngineTracesSurviveReset(t *testing.T) {
+	s := newReuseScenario(t)
+	eng := NewEngine()
+	c, err := eng.Reset(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := s.run(t, c)
+	kept := res[1].Trace
+	keptEvents := len(kept.Events)
+	keptCompletion := kept.Completion
+	if _, err := eng.Reset(s.cfg); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := eng.Reset(s.cfg)
+	s.run(t, c2)
+	if len(kept.Events) != keptEvents || kept.Completion != keptCompletion {
+		t.Fatal("trace retained across Reset was mutated by a later run")
+	}
+}
+
+// steadyCfg is a failure-free, policy-free configuration whose event loop
+// exercises dispatch, eviction-free completion, and locality accounting —
+// the pure hot path the allocation guard measures.
+func steadyCfg() (Config, JobConfig, JobConfig) {
+	job := dag.NewBuilder("steady").
+		Stage("m", 40).
+		Stage("r", 8).
+		Edge("m", "r", dag.AllToAll).
+		MustBuild()
+	p := profile.MustNew(job, []profile.StageProfile{
+		{Exec: stats.LognormalFromMedian(8*time.Second, 20*time.Second)},
+		{Exec: stats.LognormalFromMedian(12*time.Second, 30*time.Second)},
+	})
+	bgJob := dag.NewBuilder("steadybg").Stage("work", 60).MustBuild()
+	bgp := profile.MustNew(bgJob, []profile.StageProfile{
+		{Exec: stats.LognormalFromMedian(15*time.Second, 40*time.Second)},
+	})
+	cfg := Config{Machines: 6, SlotsPerMachine: 3, Seed: 9}
+	fg := JobConfig{Profile: p, Guarantee: 8, Deadline: 10 * time.Minute, Tracked: true, NoTrace: true}
+	bg := JobConfig{Profile: bgp, Guarantee: 2}
+	return cfg, fg, bg
+}
+
+// TestEngineSteadyStateAllocations is the arena-reuse acceptance guard: once
+// warmed, a full Reset+Submit+Run cycle must allocate only the small
+// per-submission constant (seed-label formatting and the job handles), no
+// matter how many tasks and events the run processes.
+func TestEngineSteadyStateAllocations(t *testing.T) {
+	cfg, fg, bg := steadyCfg()
+	eng := NewEngine()
+	cycle := func() {
+		c, err := eng.Reset(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(bg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(fg); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cycle() // warm every pool and backing array
+	}
+	avg := testing.AllocsPerRun(10, cycle)
+	// Two Submits cost ~5 small allocations each (DeriveSeed's hash and
+	// label formatting, the *Handle); the event loop itself must not
+	// contribute. 148 tasks × several events each would dwarf this bound
+	// immediately if any per-event allocation crept back in.
+	if avg > 14 {
+		t.Errorf("steady-state cycle allocates %.1f times, want the per-submission constant (<= 14)", avg)
+	}
+}
+
+func BenchmarkEngineFresh(b *testing.B) {
+	cfg, fg, bg := steadyCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Submit(bg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Submit(fg); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineReuse(b *testing.B) {
+	cfg, fg, bg := steadyCfg()
+	eng := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := eng.Reset(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Submit(bg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Submit(fg); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,15 +10,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/cluster"
 	"github.com/jockeysim/jockey/internal/control"
 	"github.com/jockeysim/jockey/internal/core"
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/grid"
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/stats"
@@ -65,11 +66,19 @@ type Env struct {
 	// online forward prediction (0 = runtime.GOMAXPROCS(0)). Results are
 	// bit-identical at any value, so experiments stay reproducible.
 	Parallelism int
+	// GridParallel bounds the experiment-level worker pool: how many grid
+	// points (independent SLO runs) execute concurrently (0 =
+	// runtime.GOMAXPROCS(0), 1 = serial). Rendered experiment output is
+	// bit-identical at any value; the golden determinism tests pin this.
+	GridParallel int
 
-	mu       sync.Mutex
-	grounds  map[string]*profile.Profile // ground truth by job name
-	trains   map[string]*trainEntry      // training profile by job name
-	runtimes map[string]*core.Jockey     // by job name + indicator
+	// Shared models, built once per environment with per-key single-flight:
+	// a cache hit never waits behind another key's in-flight build, and
+	// concurrent grid workers needing the same model share one construction.
+	grounds  grid.Cache[*profile.Profile] // ground truth by job name
+	trains   grid.Cache[*trainEntry]      // training run by job name
+	runtimes grid.Cache[*core.Jockey]     // by job name + indicator
+	surge    grid.Cache[*profile.Profile] // the big-tenant surge profile
 }
 
 type trainEntry struct {
@@ -95,34 +104,19 @@ func NewEnv(seed uint64) *Env {
 			GuaranteeHi:      3,
 			Seed:             stats.DeriveSeed(seed, "bg"),
 		},
-		grounds:  map[string]*profile.Profile{},
-		trains:   map[string]*trainEntry{},
-		runtimes: map[string]*core.Jockey{},
 	}
 }
 
 // Ground returns the ground-truth profile of a Table 2 job ("A".."G"),
 // generated once per environment.
 func (e *Env) Ground(job string) (*profile.Profile, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.groundLocked(job)
-}
-
-func (e *Env) groundLocked(job string) (*profile.Profile, error) {
-	if p, ok := e.grounds[job]; ok {
-		return p, nil
-	}
-	spec, err := workload.Spec(job)
-	if err != nil {
-		return nil, err
-	}
-	p, err := workload.Generate(spec, stats.DeriveSeed(e.Seed, "ground", job))
-	if err != nil {
-		return nil, err
-	}
-	e.grounds[job] = p
-	return p, nil
+	return e.grounds.Get(job, func() (*profile.Profile, error) {
+		spec, err := workload.Spec(job)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Generate(spec, stats.DeriveSeed(e.Seed, "ground", job))
+	})
 }
 
 // Training returns the profile Jockey extracts from a single training run of
@@ -130,9 +124,7 @@ func (e *Env) groundLocked(job string) (*profile.Profile, error) {
 // training allocation (the paper's "single production run ... as input to
 // the simulator").
 func (e *Env) Training(job string) (*profile.Profile, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	te, err := e.trainingLocked(job)
+	te, err := e.training(job)
 	if err != nil {
 		return nil, err
 	}
@@ -142,88 +134,76 @@ func (e *Env) Training(job string) (*profile.Profile, error) {
 // TrainingResult returns the cluster result of the training run (Table 3's
 // "training job" column).
 func (e *Env) TrainingResult(job string) (cluster.Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	te, err := e.trainingLocked(job)
+	te, err := e.training(job)
 	if err != nil {
 		return cluster.Result{}, err
 	}
 	return *te.trace, nil
 }
 
-func (e *Env) trainingLocked(job string) (*trainEntry, error) {
-	if te, ok := e.trains[job]; ok {
-		return te, nil
-	}
-	ground, err := e.groundLocked(job)
-	if err != nil {
-		return nil, err
-	}
-	c, err := cluster.New(cluster.Config{
-		Machines:        e.Machines,
-		SlotsPerMachine: e.Slots,
-		Seed:            stats.DeriveSeed(e.Seed, "train-cluster", job),
+// training builds the training run single-flight per job. The build calls
+// Ground — a different Cache, so no lock is held across the nesting.
+func (e *Env) training(job string) (*trainEntry, error) {
+	return e.trains.Get(job, func() (*trainEntry, error) {
+		ground, err := e.Ground(job)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.New(cluster.Config{
+			Machines:        e.Machines,
+			SlotsPerMachine: e.Slots,
+			Seed:            stats.DeriveSeed(e.Seed, "train-cluster", job),
+		})
+		if err != nil {
+			return nil, err
+		}
+		trainGround := ground
+		if e.TrainScale > 0 && e.TrainScale != 1 {
+			trainGround = ground.Scale(e.TrainScale)
+		}
+		h, err := c.Submit(cluster.JobConfig{
+			Profile:   trainGround,
+			Guarantee: e.TrainAlloc,
+			Tracked:   true,
+			NoSpare:   true, // a controlled run at exactly the training allocation
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Run(); err != nil {
+			return nil, err
+		}
+		res := h.Result()
+		prof, err := profile.FromTrace(ground.Job, res.Trace)
+		if err != nil {
+			return nil, err
+		}
+		return &trainEntry{prof: prof, trace: &res}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	trainGround := ground
-	if e.TrainScale > 0 && e.TrainScale != 1 {
-		trainGround = ground.Scale(e.TrainScale)
-	}
-	h, err := c.Submit(cluster.JobConfig{
-		Profile:   trainGround,
-		Guarantee: e.TrainAlloc,
-		Tracked:   true,
-		NoSpare:   true, // a controlled run at exactly the training allocation
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := c.Run(); err != nil {
-		return nil, err
-	}
-	res := h.Result()
-	prof, err := profile.FromTrace(ground.Job, res.Trace)
-	if err != nil {
-		return nil, err
-	}
-	te := &trainEntry{prof: prof, trace: &res}
-	e.trains[job] = te
-	return te, nil
 }
 
 // Runtime returns (building and caching on first use) the Jockey runtime
-// for a job under the given indicator.
+// for a job under the given indicator. Builds are single-flight per
+// (job, indicator): concurrent grid workers needing the same model block on
+// one construction, while hits for other models return immediately.
 func (e *Env) Runtime(job string, ind core.IndicatorName) (*core.Jockey, error) {
 	if ind == "" {
 		ind = core.TotalWorkWithQ
 	}
 	key := job + "/" + string(ind)
-	e.mu.Lock()
-	if jk, ok := e.runtimes[key]; ok {
-		e.mu.Unlock()
-		return jk, nil
-	}
-	e.mu.Unlock()
-	train, err := e.Training(job)
-	if err != nil {
-		return nil, err
-	}
-	jk, err := core.New(train, core.Options{
-		Indicator:    ind,
-		MaxTokens:    e.MaxTokens,
-		RunsPerAlloc: 8,
-		Seed:         stats.DeriveSeed(e.Seed, "jockey", job, string(ind)),
-		Parallelism:  e.Parallelism,
+	return e.runtimes.Get(key, func() (*core.Jockey, error) {
+		train, err := e.Training(job)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(train, core.Options{
+			Indicator:    ind,
+			MaxTokens:    e.MaxTokens,
+			RunsPerAlloc: 8,
+			Seed:         stats.DeriveSeed(e.Seed, "jockey", job, string(ind)),
+			Parallelism:  e.Parallelism,
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.runtimes[key] = jk
-	e.mu.Unlock()
-	return jk, nil
 }
 
 // Deadlines returns the short and long deadlines used for a job: the short
@@ -427,8 +407,29 @@ func (e *Env) buildPolicy(r SLORun) (control.Policy, error) {
 	}
 }
 
+// Exec is one worker's reusable execution state: a cluster engine whose
+// arenas persist across runs and a background-plan pool. An Exec is not safe
+// for concurrent use; runGrid hands each grid worker its own. Runs through
+// the same Exec are bit-identical to runs on freshly built clusters (pinned
+// by the cluster and workload reuse tests plus the grid golden tests).
+type Exec struct {
+	engine *cluster.Engine
+	bgPool *workload.BackgroundPool
+}
+
+// NewExec returns an execution context with empty pools.
+func NewExec() *Exec {
+	return &Exec{engine: cluster.NewEngine(), bgPool: workload.NewBackgroundPool()}
+}
+
 // Run executes one SLO run on a freshly built, background-loaded cluster.
 func (e *Env) Run(r SLORun) (Outcome, error) {
+	return e.RunExec(NewExec(), r)
+}
+
+// RunExec is Run on a reusable execution context: same results, but
+// repeated calls recycle the cluster's arenas instead of reallocating them.
+func (e *Env) RunExec(x *Exec, r SLORun) (Outcome, error) {
 	if r.Deadline <= 0 {
 		return Outcome{}, fmt.Errorf("experiments: run needs a deadline")
 	}
@@ -448,7 +449,7 @@ func (e *Env) Run(r SLORun) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	c, err := cluster.New(cluster.Config{
+	c, err := x.engine.Reset(cluster.Config{
 		Machines:        e.Machines,
 		SlotsPerMachine: e.Slots,
 		MachineMTBF:     90 * time.Minute,
@@ -465,7 +466,7 @@ func (e *Env) Run(r SLORun) (Outcome, error) {
 	// run to run, which is what an adaptive policy must cope with.
 	bgRng := stats.NewRNG(stats.DeriveSeed(e.Seed, "run-bg-level", r.Job, fmt.Sprint(r.Seed)))
 	bg.MeanInterarrival = time.Duration(float64(bg.MeanInterarrival) * (0.6 + 0.9*bgRng.Float64()))
-	if _, err := workload.SubmitBackground(c, bg); err != nil {
+	if _, err := x.bgPool.SubmitBackground(c, bg); err != nil {
 		return Outcome{}, err
 	}
 	// Some runs coincide with a large high-priority tenant claiming a big
@@ -561,16 +562,55 @@ func secs(d time.Duration) string {
 }
 
 // submitSurge adds a large tenant with a big guaranteed slice arriving at
-// the given time, squeezing spare capacity for the rest of the run.
+// the given time, squeezing spare capacity for the rest of the run. The
+// surge profile is built once per environment: its construction draws no
+// randomness, and the stable plan pointer lets reusable engines pool the
+// 20000-task arena instead of reallocating it every surge run.
 func (e *Env) submitSurge(c *cluster.Cluster, at time.Duration) error {
-	job := dag.NewBuilder("surge").Stage("batch", 20000).MustBuild()
-	p, err := profile.New(job, []profile.StageProfile{
-		{Exec: stats.LognormalFromMedian(40*time.Second, 2*time.Minute),
-			Queue: workload.DefaultQueueDelay()},
+	p, err := e.surge.Get("surge", func() (*profile.Profile, error) {
+		job := dag.NewBuilder("surge").Stage("batch", 20000).MustBuild()
+		return profile.New(job, []profile.StageProfile{
+			{Exec: stats.LognormalFromMedian(40*time.Second, 2*time.Minute),
+				Queue: workload.DefaultQueueDelay()},
+		})
 	})
 	if err != nil {
 		return err
 	}
 	_, err = c.Submit(cluster.JobConfig{Profile: p, Guarantee: 45, Start: at})
 	return err
+}
+
+// execTask is one experiment grid point: a stable key (for debugging and the
+// executor's per-task seed derivation) and a body receiving the worker's
+// reusable Exec. Bodies derive their own run seeds from Env.Seed with the
+// same labels the serial implementation used, so results are bit-compatible
+// with historical serial runs; the executor-provided seed goes unused.
+type execTask[T any] struct {
+	key string
+	run func(x *Exec) (T, error)
+}
+
+// runGrid executes the tasks on Env.GridParallel workers and returns their
+// results in task order. Each worker lazily creates one Exec and reuses it
+// for every task it claims; worker indices partition the exec slice, so no
+// synchronization is needed beyond the executor's own. Output is
+// bit-identical at any parallelism (grid.Run's contract plus per-task seed
+// derivations independent of scheduling).
+func runGrid[T any](env *Env, tasks []execTask[T]) ([]T, error) {
+	execs := make([]*Exec, grid.Workers(env.GridParallel, len(tasks)))
+	gts := make([]grid.Task[T], len(tasks))
+	for i, t := range tasks {
+		t := t
+		gts[i] = grid.Task[T]{
+			Key: t.key,
+			Run: func(_ context.Context, _ uint64, worker int) (T, error) {
+				if execs[worker] == nil {
+					execs[worker] = NewExec()
+				}
+				return t.run(execs[worker])
+			},
+		}
+	}
+	return grid.Run(context.Background(), env.Seed, env.GridParallel, gts)
 }

@@ -51,26 +51,44 @@ func Sensitivity(env *Env, jobs []string, seedsPerJob int) (*Fig11, error) {
 	if seedsPerJob <= 0 {
 		seedsPerJob = 3
 	}
+	cases := SensitivityCases()
+	var tasks []execTask[Outcome]
+	for _, cse := range cases {
+		for _, job := range jobs {
+			for s := 0; s < seedsPerJob; s++ {
+				cse, job, s := cse, job, s
+				tasks = append(tasks, execTask[Outcome]{
+					key: fmt.Sprintf("fig11/%s/%s/%d", cse.Name, job, s),
+					run: func(x *Exec) (Outcome, error) {
+						short, _, err := env.Deadlines(job)
+						if err != nil {
+							return Outcome{}, err
+						}
+						return env.RunExec(x, SLORun{
+							Job:      job,
+							Deadline: short,
+							Policy:   PolicyJockey,
+							Seed:     stats.DeriveSeed(env.Seed, "fig11", cse.Name, job, fmt.Sprint(s)),
+							Knobs:    cse.Knobs,
+						})
+					},
+				})
+			}
+		}
+	}
+	results, err := runGrid(env, tasks)
+	if err != nil {
+		return nil, err
+	}
 	f := &Fig11{}
-	for _, cse := range SensitivityCases() {
+	i := 0
+	for _, cse := range cases {
 		row := SensitivityRow{Name: cse.Name}
 		var rels, above, medAllocs []float64
-		for _, job := range jobs {
-			short, _, err := env.Deadlines(job)
-			if err != nil {
-				return nil, err
-			}
+		for range jobs {
 			for s := 0; s < seedsPerJob; s++ {
-				o, err := env.Run(SLORun{
-					Job:      job,
-					Deadline: short,
-					Policy:   PolicyJockey,
-					Seed:     stats.DeriveSeed(env.Seed, "fig11", cse.Name, job, fmt.Sprint(s)),
-					Knobs:    cse.Knobs,
-				})
-				if err != nil {
-					return nil, err
-				}
+				o := results[i]
+				i++
 				row.Runs++
 				if o.Met {
 					row.MetFrac++

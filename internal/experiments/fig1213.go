@@ -36,26 +36,43 @@ func sweep(env *Env, jobs []string, seedsPerJob int, param string,
 	if seedsPerJob <= 0 {
 		seedsPerJob = 3
 	}
+	var tasks []execTask[Outcome]
+	for _, v := range values {
+		for _, job := range jobs {
+			for s := 0; s < seedsPerJob; s++ {
+				v, job, s := v, job, s
+				tasks = append(tasks, execTask[Outcome]{
+					key: fmt.Sprintf("sweep/%s/%v/%s/%d", param, v, job, s),
+					run: func(x *Exec) (Outcome, error) {
+						short, _, err := env.Deadlines(job)
+						if err != nil {
+							return Outcome{}, err
+						}
+						return env.RunExec(x, SLORun{
+							Job:      job,
+							Deadline: short,
+							Policy:   PolicyJockey,
+							Seed:     stats.DeriveSeed(env.Seed, "sweep", param, fmt.Sprint(v), job, fmt.Sprint(s)),
+							Knobs:    knobsFor(v),
+						})
+					},
+				})
+			}
+		}
+	}
+	results, err := runGrid(env, tasks)
+	if err != nil {
+		return nil, err
+	}
 	sw := &Sweep{Param: param}
+	i := 0
 	for _, v := range values {
 		row := SweepRow{Value: v}
 		var rels, above, firsts, lasts, medians, maxes, hours []float64
-		for _, job := range jobs {
-			short, _, err := env.Deadlines(job)
-			if err != nil {
-				return nil, err
-			}
+		for range jobs {
 			for s := 0; s < seedsPerJob; s++ {
-				o, err := env.Run(SLORun{
-					Job:      job,
-					Deadline: short,
-					Policy:   PolicyJockey,
-					Seed:     stats.DeriveSeed(env.Seed, "sweep", param, fmt.Sprint(v), job, fmt.Sprint(s)),
-					Knobs:    knobsFor(v),
-				})
-				if err != nil {
-					return nil, err
-				}
+				o := results[i]
+				i++
 				row.Runs++
 				if o.Met {
 					row.MetFrac++

@@ -43,32 +43,46 @@ type Comparison struct {
 
 // PolicyComparison runs every policy over every (job, short/long deadline,
 // seed) combination — the experiment behind Fig. 4 (missed deadlines vs
-// cluster impact) and Fig. 5 (completion-time CDFs).
+// cluster impact) and Fig. 5 (completion-time CDFs). Grid points run on
+// Env.GridParallel workers; per-run seeds derive from the same labels the
+// serial implementation used, and the order-preserving merge keeps the
+// per-policy outcome sequences (and thus the rendered tables) bit-identical
+// at any parallelism.
 func PolicyComparison(env *Env, cfg ComparisonConfig) (*Comparison, error) {
 	cfg.fill()
-	out := &Comparison{Outcomes: map[PolicyKind][]Outcome{}}
+	var tasks []execTask[Outcome]
 	for _, job := range cfg.Jobs {
-		short, long, err := env.Deadlines(job)
-		if err != nil {
-			return nil, err
-		}
-		for _, deadline := range []time.Duration{short, long} {
+		for di := 0; di < 2; di++ {
 			for s := 0; s < cfg.SeedsPerCase; s++ {
-				seed := stats.DeriveSeed(env.Seed, "fig45", job, fmt.Sprint(deadline), fmt.Sprint(s))
 				for _, pol := range cfg.Policies {
-					o, err := env.Run(SLORun{
-						Job:      job,
-						Deadline: deadline,
-						Policy:   pol,
-						Seed:     seed,
+					job, di, s, pol := job, di, s, pol
+					tasks = append(tasks, execTask[Outcome]{
+						key: fmt.Sprintf("fig45/%s/%d/%d/%s", job, di, s, pol),
+						run: func(x *Exec) (Outcome, error) {
+							short, long, err := env.Deadlines(job)
+							if err != nil {
+								return Outcome{}, err
+							}
+							deadline := []time.Duration{short, long}[di]
+							return env.RunExec(x, SLORun{
+								Job:      job,
+								Deadline: deadline,
+								Policy:   pol,
+								Seed:     stats.DeriveSeed(env.Seed, "fig45", job, fmt.Sprint(deadline), fmt.Sprint(s)),
+							})
+						},
 					})
-					if err != nil {
-						return nil, err
-					}
-					out.Outcomes[pol] = append(out.Outcomes[pol], o)
 				}
 			}
 		}
+	}
+	results, err := runGrid(env, tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := &Comparison{Outcomes: map[PolicyKind][]Outcome{}}
+	for _, o := range results {
+		out.Outcomes[o.Policy] = append(out.Outcomes[o.Policy], o)
 	}
 	return out, nil
 }

@@ -8,7 +8,6 @@ import (
 	"github.com/jockeysim/jockey/internal/core"
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/stats"
-	"github.com/jockeysim/jockey/internal/workload"
 )
 
 // AllIndicators lists the six indicators in the paper's Fig. 10 order.
@@ -39,7 +38,7 @@ type IndicatorSeries struct {
 // loaded cluster, recording the per-minute stage fractions, then evaluates
 // every requested indicator on the same state series — so all indicators
 // see the identical run, as in §5.4.
-func replayIndicators(env *Env, job string, inds []core.IndicatorName, seed uint64) ([]IndicatorSeries, error) {
+func replayIndicators(env *Env, x *Exec, job string, inds []core.IndicatorName, seed uint64) ([]IndicatorSeries, error) {
 	ground, err := env.Ground(job)
 	if err != nil {
 		return nil, err
@@ -52,7 +51,7 @@ func replayIndicators(env *Env, job string, inds []core.IndicatorName, seed uint
 
 	var states []model.State
 	var times []time.Duration
-	c, err := cluster.New(cluster.Config{
+	c, err := x.engine.Reset(cluster.Config{
 		Machines:        env.Machines,
 		SlotsPerMachine: env.Slots,
 		MachineMTBF:     90 * time.Minute,
@@ -63,7 +62,7 @@ func replayIndicators(env *Env, job string, inds []core.IndicatorName, seed uint
 	}
 	bg := env.Background
 	bg.Seed = stats.DeriveSeed(env.Seed, "fig910-bg", job, fmt.Sprint(seed))
-	if _, err := workload.SubmitBackground(c, bg); err != nil {
+	if _, err := x.bgPool.SubmitBackground(c, bg); err != nil {
 		return nil, err
 	}
 	h, err := c.Submit(cluster.JobConfig{
@@ -140,7 +139,7 @@ type Fig9 struct {
 // IndicatorTraces reproduces Fig. 9: the totalworkWithQ and CP indicators
 // over the same run of job G, with their worst-case completion estimates.
 func IndicatorTraces(env *Env) (*Fig9, error) {
-	series, err := replayIndicators(env, "G",
+	series, err := replayIndicators(env, NewExec(), "G",
 		[]core.IndicatorName{core.TotalWorkWithQ, core.CP}, 1)
 	if err != nil {
 		return nil, err
@@ -196,13 +195,23 @@ func IndicatorComparison(env *Env, jobs []string) (*Fig10, error) {
 	if len(jobs) == 0 {
 		jobs = DefaultJobs
 	}
+	var tasks []execTask[[]IndicatorSeries]
+	for _, job := range jobs {
+		job := job
+		tasks = append(tasks, execTask[[]IndicatorSeries]{
+			key: "fig10/" + job,
+			run: func(x *Exec) ([]IndicatorSeries, error) {
+				return replayIndicators(env, x, job, AllIndicators, 2)
+			},
+		})
+	}
+	results, err := runGrid(env, tasks)
+	if err != nil {
+		return nil, err
+	}
 	deltas := map[core.IndicatorName][]float64{}
 	consts := map[core.IndicatorName][]float64{}
-	for _, job := range jobs {
-		series, err := replayIndicators(env, job, AllIndicators, 2)
-		if err != nil {
-			return nil, err
-		}
+	for _, series := range results {
 		for _, s := range series {
 			deltas[s.Indicator] = append(deltas[s.Indicator], s.AvgDeltaT)
 			consts[s.Indicator] = append(consts[s.Indicator], s.LongestConstantFrac)

@@ -119,26 +119,44 @@ func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, erro
 	if err != nil {
 		return nil, err
 	}
+	scenarios := DefaultRobustnessScenarios(short)
+	var tasks []execTask[Outcome]
+	for _, sc := range scenarios {
+		for _, v := range RobustnessVariants {
+			for s := 0; s < seedsPerCell; s++ {
+				sc, v, s := sc, v, s
+				tasks = append(tasks, execTask[Outcome]{
+					key: fmt.Sprintf("robust/%s/%s/%d", sc.Name, v.Name, s),
+					run: func(x *Exec) (Outcome, error) {
+						return env.RunExec(x, SLORun{
+							Job:         job,
+							Deadline:    short,
+							Policy:      v.Policy,
+							Guarded:     v.Guarded,
+							Seed:        stats.DeriveSeed(env.Seed, "robust", job, sc.Name, fmt.Sprint(s)),
+							InputScale:  1,
+							Drifts:      sc.Drifts,
+							RackOutages: sc.RackOutages,
+							Contention:  sc.Contention,
+						})
+					},
+				})
+			}
+		}
+	}
+	results, err := runGrid(env, tasks)
+	if err != nil {
+		return nil, err
+	}
 	out := &RobustnessResult{Job: job, Deadline: short}
-	for _, sc := range DefaultRobustnessScenarios(short) {
+	i := 0
+	for _, sc := range scenarios {
 		for _, v := range RobustnessVariants {
 			row := RobustnessRow{Scenario: sc.Name, Policy: v.Name}
 			var rels, aboves, churns []float64
 			for s := 0; s < seedsPerCell; s++ {
-				o, err := env.Run(SLORun{
-					Job:         job,
-					Deadline:    short,
-					Policy:      v.Policy,
-					Guarded:     v.Guarded,
-					Seed:        stats.DeriveSeed(env.Seed, "robust", job, sc.Name, fmt.Sprint(s)),
-					InputScale:  1,
-					Drifts:      sc.Drifts,
-					RackOutages: sc.RackOutages,
-					Contention:  sc.Contention,
-				})
-				if err != nil {
-					return nil, err
-				}
+				o := results[i]
+				i++
 				row.Runs++
 				if o.Met {
 					row.Met++

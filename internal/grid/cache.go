@@ -1,0 +1,47 @@
+package grid
+
+import "sync"
+
+// Cache is a per-key single-flight cache: the first Get for a key runs its
+// build function exactly once, concurrent Gets for the same key block on
+// that one build, and Gets for other keys — hits and independent builds
+// alike — proceed without waiting. This is the construction discipline for
+// the experiment environment's shared models: concurrent grid points that
+// need the same job's ground truth or C(p, a) table share one build instead
+// of serializing behind a global mutex or recomputing.
+//
+// The zero value is ready to use. Build results (including errors) are
+// cached forever: a failed build is not retried, because in this repository
+// a build failure means a misconfigured experiment, not a transient fault.
+//
+// A build function must not Get its own key (it would deadlock on itself);
+// builds may freely Get other keys or other Caches, since no lock is held
+// while a build runs.
+type Cache[V any] struct {
+	mu sync.Mutex
+	m  map[string]*cacheCell[V]
+}
+
+type cacheCell[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Get returns the cached value for key, building it with build on first
+// use. Only the map lookup is under the Cache lock; the build itself runs
+// outside it, so a hit never waits on another key's in-flight build.
+func (c *Cache[V]) Get(key string, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*cacheCell[V])
+	}
+	cell, ok := c.m[key]
+	if !ok {
+		cell = &cacheCell[V]{}
+		c.m[key] = cell
+	}
+	c.mu.Unlock()
+	cell.once.Do(func() { cell.v, cell.err = build() })
+	return cell.v, cell.err
+}

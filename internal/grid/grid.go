@@ -1,0 +1,122 @@
+// Package grid executes a grid of independent tasks — the (job × seed ×
+// knob × policy) fan-out every experiment in this repository is made of —
+// across a bounded worker pool, deterministically.
+//
+// The determinism contract (DESIGN.md, "The grid executor") is the same
+// discipline internal/model uses for parallel C(p, a) construction, applied
+// one level up:
+//
+//   - every task has a unique string key; its seed is derived as
+//     stats.DeriveSeed(master, key), never from worker identity or
+//     scheduling order;
+//   - workers claim tasks with an atomic counter, so the set of claimed
+//     indices is always a prefix of the task list;
+//   - results are merged in task-index order, so the returned slice is
+//     bit-identical at any worker count, including 1.
+//
+// Tasks additionally receive their worker index so callers can give each
+// worker private scratch state (a reusable cluster.Engine, for example)
+// without synchronization: a worker runs one task at a time.
+package grid
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// Task is one grid point.
+type Task[T any] struct {
+	// Key identifies the task; it must be unique within one Run call. The
+	// task's seed is stats.DeriveSeed(master, Key), so the key — not the
+	// execution order — determines the task's randomness.
+	Key string
+	// Run executes the task. seed is the task's derived seed; worker is the
+	// index of the executing worker in [0, Workers(parallelism, len(tasks))),
+	// for callers that keep per-worker scratch state. ctx is canceled when
+	// another task fails; long tasks may check it to stop early.
+	Run func(ctx context.Context, seed uint64, worker int) (T, error)
+}
+
+// Workers resolves a parallelism knob against a task count: 0 (or negative)
+// means runtime.GOMAXPROCS(0), and the pool is never larger than the number
+// of tasks nor smaller than 1. Callers sizing per-worker state should use
+// this so their slice matches the pool Run actually creates.
+func Workers(parallelism, tasks int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > tasks {
+		parallelism = tasks
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// Run executes all tasks and returns their results in task order. Results
+// are bit-identical at any parallelism (given tasks that honor their seed
+// discipline); see the package comment for the contract.
+//
+// On failure Run cancels the context passed to still-running tasks, stops
+// claiming new tasks, waits for in-flight tasks, and returns the error of
+// the lowest-index failed task it observed. When several tasks fail, which
+// failures are observed (rather than skipped) can depend on the worker
+// count, so only a nil error makes the results meaningful. If ctx is
+// canceled externally, Run returns ctx's error.
+func Run[T any](ctx context.Context, master uint64, parallelism int, tasks []Task[T]) ([]T, error) {
+	if len(tasks) == 0 {
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, len(tasks))
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	workers := Workers(parallelism, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(tasks) || ctx.Err() != nil {
+					return
+				}
+				v, err := tasks[i].Run(ctx, stats.DeriveSeed(master, tasks[i].Key), worker)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,231 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// mixTasks builds n tasks whose results depend only on their key-derived
+// seed, plus per-worker scratch accumulation to prove workers never share
+// scratch state (the -race build would catch sharing).
+func mixTasks(n, workers int, scratch []uint64) []Task[uint64] {
+	tasks := make([]Task[uint64], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[uint64]{
+			Key: fmt.Sprintf("task/%d", i),
+			Run: func(_ context.Context, seed uint64, worker int) (uint64, error) {
+				if worker < 0 || worker >= workers {
+					return 0, fmt.Errorf("worker index %d out of [0, %d)", worker, workers)
+				}
+				if scratch != nil {
+					scratch[worker] += seed // un-synchronized: workers must be disjoint
+				}
+				return stats.SplitMix64(seed + uint64(i)), nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n, master = 37, uint64(99)
+	var want []uint64
+	for _, par := range []int{1, 4, 8} {
+		scratch := make([]uint64, Workers(par, n))
+		got, err := Run(context.Background(), master, par, mixTasks(n, Workers(par, n), scratch))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunSeedsDerivedFromKey(t *testing.T) {
+	const master = uint64(7)
+	tasks := []Task[uint64]{{
+		Key: "alpha",
+		Run: func(_ context.Context, seed uint64, _ int) (uint64, error) { return seed, nil },
+	}}
+	got, err := Run(context.Background(), master, 1, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := stats.DeriveSeed(master, "alpha"); got[0] != want {
+		t.Fatalf("seed = %d, want DeriveSeed(master, key) = %d", got[0], want)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](context.Background(), 1, 4, nil)
+	if err != nil || got != nil {
+		t.Fatalf("Run(no tasks) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4, 100); w != 4 {
+		t.Errorf("Workers(4, 100) = %d, want 4", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (clamped to task count)", w)
+	}
+	if w := Workers(0, 5); w < 1 || w > 5 {
+		t.Errorf("Workers(0, 5) = %d, want in [1, 5]", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", w)
+	}
+}
+
+// TestRunErrorCancelsRemainingTasks pins the cancellation satellite: a
+// failing grid point must stop the remaining workers promptly — tasks after
+// the failure are never executed, and a blocked in-flight task sees its
+// context canceled rather than the grid draining to completion first.
+func TestRunErrorCancelsRemainingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	blocked := make(chan struct{})
+	tasks := make([]Task[int], 16)
+	tasks[0] = Task[int]{Key: "blocker", Run: func(ctx context.Context, _ uint64, _ int) (int, error) {
+		close(blocked)
+		<-ctx.Done() // must be released by task 1's failure, not by grid completion
+		return 0, nil
+	}}
+	tasks[1] = Task[int]{Key: "failer", Run: func(_ context.Context, _ uint64, _ int) (int, error) {
+		<-blocked // ensure the blocker holds worker 0 first
+		return 0, boom
+	}}
+	for i := 2; i < len(tasks); i++ {
+		tasks[i] = Task[int]{Key: fmt.Sprintf("after/%d", i), Run: func(_ context.Context, _ uint64, _ int) (int, error) {
+			executed.Add(1)
+			return 0, nil
+		}}
+	}
+	_, err := Run(context.Background(), 1, 2, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task failure", err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("%d tasks after the failure executed; cancellation should have skipped them all", n)
+	}
+}
+
+func TestRunReportsLowestObservedFailure(t *testing.T) {
+	tasks := make([]Task[int], 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{Key: fmt.Sprint(i), Run: func(_ context.Context, _ uint64, _ int) (int, error) {
+			if i >= 3 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(context.Background(), 1, 1, tasks)
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("err = %v, want the serial-order first failure (task 3)", err)
+	}
+}
+
+func TestRunExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 1, 4, mixTasks(8, Workers(4, 8), nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	var c Cache[int]
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get("k", func() (int, error) {
+				builds.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = %d, %v; want 42, nil", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want exactly 1 (single-flight)", n)
+	}
+}
+
+// TestCacheHitDoesNotWaitOnOtherBuild is the regression test for the old
+// Env behavior, where one mutex was held across a full model build and a
+// cache *hit* for a different job blocked behind it. A hit must return
+// while an unrelated build is still in flight.
+func TestCacheHitDoesNotWaitOnOtherBuild(t *testing.T) {
+	var c Cache[string]
+	if _, err := c.Get("fast", func() (string, error) { return "cached", nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	slowEntered := make(chan struct{})
+	slowRelease := make(chan struct{})
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		c.Get("slow", func() (string, error) {
+			close(slowEntered)
+			<-slowRelease // the build stays in flight until the hit completes
+			return "built", nil
+		})
+	}()
+	<-slowEntered
+
+	hit := make(chan string, 1)
+	go func() {
+		v, _ := c.Get("fast", func() (string, error) { return "rebuilt?!", nil })
+		hit <- v
+	}()
+	select {
+	case v := <-hit:
+		if v != "cached" {
+			t.Fatalf("hit returned %q, want the cached value", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache hit blocked behind an in-flight build of a different key")
+	}
+	close(slowRelease)
+	<-slowDone
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[int]
+	var builds atomic.Int64
+	boom := errors.New("bad build")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("k", func() (int, error) { builds.Add(1); return 0, boom }); !errors.Is(err, boom) {
+			t.Fatalf("Get #%d err = %v, want the build error", i, err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("failed build ran %d times, want 1 (errors are cached)", n)
+	}
+}

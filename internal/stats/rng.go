@@ -63,3 +63,39 @@ func DeriveSeed(master uint64, labels ...string) uint64 {
 	}
 	return SplitMix64(h.Sum64())
 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// DeriveSeedInt is DeriveSeed(master, fmt.Sprint(n)) for n >= 0, without the
+// per-call allocations of the variadic form (the hash interface, the label
+// slice, the formatted string). Simulator hot paths that hash a task index on
+// every dispatch use it; TestDeriveSeedIntMatchesDeriveSeed pins the
+// bit-identity so placements never shift between the two spellings.
+func DeriveSeedInt(master uint64, n int) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(master >> (8 * i)))
+		h *= fnvPrime64
+	}
+	// label separator byte 0: h ^= 0 is a no-op
+	h *= fnvPrime64
+	var buf [20]byte
+	p := len(buf)
+	v := uint64(n)
+	for {
+		p--
+		buf[p] = '0' + byte(v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	for _, c := range buf[p:] {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return SplitMix64(h)
+}

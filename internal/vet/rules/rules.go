@@ -28,6 +28,7 @@ var DeterministicPackages = map[string]bool{
 	"stats":    true,
 	"progress": true,
 	"workload": true,
+	"grid":     true,
 }
 
 // All returns the full suite in rule-table order.

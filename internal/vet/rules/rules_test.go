@@ -15,6 +15,10 @@ func TestWalltimeAllowsNonDeterministicPackages(t *testing.T) {
 	vettest.Run(t, "testdata/walltime/experiments", rules.Walltime)
 }
 
+func TestWalltimeGridWorkerPool(t *testing.T) {
+	vettest.Run(t, "testdata/walltime/grid", rules.Walltime)
+}
+
 func TestGlobalRand(t *testing.T) {
 	vettest.Run(t, "testdata/globalrand/app", rules.GlobalRand)
 }

@@ -1,0 +1,27 @@
+// Fixture: worker pools are the tempting place to reach for the global
+// source ("each worker just needs a little jitter") — banned like everywhere
+// else. Deriving a per-task seed from the task index is the allowed path.
+package app
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sync"
+	"time"
+)
+
+func pool(tasks int) {
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = randv2.Uint64()                                          // want `process-global random source`
+			r := rand.New(rand.NewSource(time.Now().UnixNano() + int64(i))) // want `seeded from time.Now`
+			_ = r.Float64()
+			ok := randv2.New(randv2.NewPCG(uint64(i), 0))
+			_ = ok.Float64()
+		}(i)
+	}
+	wg.Wait()
+}

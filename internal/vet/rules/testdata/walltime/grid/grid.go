@@ -1,0 +1,35 @@
+// Fixture: "grid" (the parallel experiment executor) is a deterministic
+// package — worker goroutines may not pace or order themselves off the wall
+// clock, or results would depend on scheduling.
+package grid
+
+import (
+	"sync"
+	"time"
+)
+
+func runPool(workers int, tasks []func()) {
+	deadline := time.Now().Add(time.Minute) // want `time.Now reads the wall clock`
+	_ = deadline
+	var wg sync.WaitGroup
+	next := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(tasks) {
+					return
+				}
+				time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+				tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/cluster"
@@ -84,6 +85,100 @@ func (c *BackgroundConfig) fill() error {
 // SubmitBackground pre-schedules a fleet of background jobs on the cluster
 // and returns how many were submitted. Call before cluster.Run.
 func SubmitBackground(c *cluster.Cluster, cfg BackgroundConfig) (int, error) {
+	return submitBackground(c, cfg, nil)
+}
+
+// BackgroundPool caches background-job plans and profiles across fleets, so
+// repeated runs over the same BackgroundConfig (an experiment grid worker
+// re-simulating the same environment hundreds of times) stop rebuilding a
+// DAG and a profile per job. Cached jobs carry canonical shape-derived names
+// ("bg-120", "bgb-120") instead of the per-fleet bg0000 numbering; cluster
+// dynamics are name-independent (per-job randomness derives from the
+// submission id, never the name), so pooled and fresh fleets replay
+// bit-identically — TestBackgroundPoolBitIdentical pins this.
+//
+// Reusing plans also makes every background jobRun poolable by a
+// cluster.Engine, which keys its arenas on plan identity.
+//
+// A pool assumes a fixed task-duration distribution: if a fleet arrives with
+// a different TaskDuration, the cache is discarded and rebuilt for the new
+// one. A pool is not safe for concurrent use (one per grid worker).
+type BackgroundPool struct {
+	taskDur stats.Distribution
+	plain   map[int]*profile.Profile // key: map-stage task count
+	barrier map[int]*profile.Profile
+}
+
+// NewBackgroundPool returns an empty plan/profile pool.
+func NewBackgroundPool() *BackgroundPool {
+	return &BackgroundPool{
+		plain:   make(map[int]*profile.Profile),
+		barrier: make(map[int]*profile.Profile),
+	}
+}
+
+// SubmitBackground is SubmitBackground with the pool's cached profiles.
+func (p *BackgroundPool) SubmitBackground(c *cluster.Cluster, cfg BackgroundConfig) (int, error) {
+	return submitBackground(c, cfg, p)
+}
+
+// profileFor returns the pooled profile for a job shape, building and
+// caching it on first use.
+func (p *BackgroundPool) profileFor(cfg *BackgroundConfig, tasks int, barrier bool) (*profile.Profile, error) {
+	// DeepEqual, not ==: Distribution implementations may be non-comparable
+	// (empirical distributions hold slices), which would make == panic.
+	if p.taskDur == nil || !reflect.DeepEqual(p.taskDur, cfg.TaskDuration) {
+		clear(p.plain)
+		clear(p.barrier)
+		p.taskDur = cfg.TaskDuration
+	}
+	cache := p.plain
+	if barrier {
+		cache = p.barrier
+	}
+	if prof, ok := cache[tasks]; ok {
+		return prof, nil
+	}
+	var name string
+	if barrier {
+		name = fmt.Sprintf("bgb-%d", tasks)
+	} else {
+		name = fmt.Sprintf("bg-%d", tasks)
+	}
+	prof, err := buildBackgroundProfile(cfg, name, tasks, barrier)
+	if err != nil {
+		return nil, err
+	}
+	cache[tasks] = prof
+	return prof, nil
+}
+
+// buildBackgroundProfile constructs one background job's plan and profile.
+// It draws nothing from any RNG: callers can cache its result without
+// shifting the fleet generator's stream.
+func buildBackgroundProfile(cfg *BackgroundConfig, name string, tasks int, barrier bool) (*profile.Profile, error) {
+	if barrier {
+		reducers := tasks / 8
+		if reducers < 1 {
+			reducers = 1
+		}
+		job := dag.NewBuilder(name).
+			Stage("map", tasks).
+			Stage("reduce", reducers).
+			Edge("map", "reduce", dag.AllToAll).
+			MustBuild()
+		return profile.New(job, []profile.StageProfile{
+			{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+			{Exec: stats.Scaled{Base: cfg.TaskDuration, Factor: 2}, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+		})
+	}
+	job := dag.NewBuilder(name).Stage("map", tasks).MustBuild()
+	return profile.New(job, []profile.StageProfile{
+		{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
+	})
+}
+
+func submitBackground(c *cluster.Cluster, cfg BackgroundConfig, pool *BackgroundPool) (int, error) {
 	if err := cfg.fill(); err != nil {
 		return 0, err
 	}
@@ -103,30 +198,15 @@ func SubmitBackground(c *cluster.Cluster, cfg BackgroundConfig) (int, error) {
 			break
 		}
 		tasks := cfg.TasksLo + rng.IntN(cfg.TasksHi-cfg.TasksLo+1)
-		name := fmt.Sprintf("bg%04d", n)
+		barrier := rng.Float64() < cfg.BarrierProb
 		var (
 			p   *profile.Profile
 			err error
 		)
-		if rng.Float64() < cfg.BarrierProb {
-			reducers := tasks / 8
-			if reducers < 1 {
-				reducers = 1
-			}
-			job := dag.NewBuilder(name).
-				Stage("map", tasks).
-				Stage("reduce", reducers).
-				Edge("map", "reduce", dag.AllToAll).
-				MustBuild()
-			p, err = profile.New(job, []profile.StageProfile{
-				{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
-				{Exec: stats.Scaled{Base: cfg.TaskDuration, Factor: 2}, Queue: DefaultQueueDelay(), FailureProb: 0.01},
-			})
+		if pool != nil {
+			p, err = pool.profileFor(&cfg, tasks, barrier)
 		} else {
-			job := dag.NewBuilder(name).Stage("map", tasks).MustBuild()
-			p, err = profile.New(job, []profile.StageProfile{
-				{Exec: cfg.TaskDuration, Queue: DefaultQueueDelay(), FailureProb: 0.01},
-			})
+			p, err = buildBackgroundProfile(&cfg, fmt.Sprintf("bg%04d", n), tasks, barrier)
 		}
 		if err != nil {
 			return n, err

@@ -1,37 +1,54 @@
 #!/usr/bin/env bash
-# bench.sh — run the simulator-core hot-path benchmarks and emit a
-# machine-readable BENCH_simcore.json so the perf trajectory is tracked
-# PR-over-PR (CI uploads the file as a non-gating artifact).
+# bench.sh — run a benchmark suite and emit a machine-readable BENCH_*.json
+# so the perf trajectory is tracked PR-over-PR (CI uploads the files as
+# non-gating artifacts).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [suite] [output.json]
 #
-# Tracked benchmarks (the ones the acceptance criteria of the hot-path PR
-# pinned, plus the pre-existing throughput benchmark for continuity):
-#   internal/sim:    BenchmarkSimRun            (fresh engine vs reused Runner)
-#   internal/eventq: BenchmarkEventQueue        (steady-state Push+Pop)
-#   internal/model:  BenchmarkCPAQuery          (Remaining / ExpectedUtility)
-#   internal/model:  BenchmarkOnlineSimTick     (per-tick online prediction)
-#   root:            BenchmarkSimulatorThroughput (job F, 6139 vertices)
+# Suites:
+#   simcore (default) — simulator-core hot-path benchmarks:
+#     internal/sim:    BenchmarkSimRun            (fresh engine vs reused Runner)
+#     internal/eventq: BenchmarkEventQueue        (steady-state Push+Pop)
+#     internal/model:  BenchmarkCPAQuery          (Remaining / ExpectedUtility)
+#     internal/model:  BenchmarkOnlineSimTick     (per-tick online prediction)
+#     root:            BenchmarkSimulatorThroughput (job F, 6139 vertices)
+#   grid — experiment-executor benchmarks (run once each; a single grid
+#   iteration already replays dozens of cluster simulations):
+#     internal/cluster:     BenchmarkEngineFresh/Reuse (arena reuse win)
+#     internal/experiments: BenchmarkGridSerial/Parallel (robustness grid)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_simcore.json}"
+SUITE="${1:-simcore}"
+OUT="${2:-BENCH_${SUITE}.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-run() { # run <package> <bench regex>
-  go test -run NONE -bench "$2" -benchmem -benchtime "${BENCHTIME:-1s}" -count 1 "$1" | tee -a "$TMP"
+run() { # run <package> <bench regex> [benchtime]
+  go test -run NONE -bench "$2" -benchmem -benchtime "${3:-${BENCHTIME:-1s}}" -count 1 "$1" | tee -a "$TMP"
 }
 
 : >"$TMP"
-run ./internal/sim 'BenchmarkSimRun'
-run ./internal/eventq 'BenchmarkEventQueue'
-run ./internal/model 'BenchmarkCPAQuery|BenchmarkOnlineSimTick'
-run . 'BenchmarkSimulatorThroughput'
+case "$SUITE" in
+simcore)
+  run ./internal/sim 'BenchmarkSimRun'
+  run ./internal/eventq 'BenchmarkEventQueue'
+  run ./internal/model 'BenchmarkCPAQuery|BenchmarkOnlineSimTick'
+  run . 'BenchmarkSimulatorThroughput'
+  ;;
+grid)
+  run ./internal/cluster 'BenchmarkEngine' "${BENCHTIME:-1x}"
+  run ./internal/experiments 'BenchmarkGrid' "${BENCHTIME:-1x}"
+  ;;
+*)
+  echo "bench.sh: unknown suite '$SUITE' (want simcore or grid)" >&2
+  exit 2
+  ;;
+esac
 
 # Parse `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op [extra metrics]`
 # into JSON. awk keeps the script dependency-free (no jq in the container).
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v suite="$SUITE" '
 BEGIN { n = 0 }
 /^Benchmark/ {
   name = $1
@@ -50,7 +67,7 @@ BEGIN { n = 0 }
   rows[n++] = line
 }
 END {
-  printf "{\n  \"suite\": \"simcore\",\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
+  printf "{\n  \"suite\": \"%s\",\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", suite, date
   for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
   printf "  ]\n}\n"
 }' "$TMP" >"$OUT"

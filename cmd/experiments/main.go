@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-out DIR] [-quick] [-run LIST] [-parallelism N] [-parallel N]
+//	            [-flight-level none|decisions|counterfactual] [-flight DIR]
 //
 // -run selects a comma-separated subset of:
 // table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2,robustness
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"github.com/jockeysim/jockey/internal/experiments"
+	"github.com/jockeysim/jockey/internal/flight"
 )
 
 func main() {
@@ -30,8 +32,15 @@ func main() {
 		run   = flag.String("run", "", "comma-separated experiment subset (default: all)")
 		par   = flag.Int("parallelism", 0, "worker pool size for offline model simulations (0 = GOMAXPROCS); results are identical at any value")
 		gpar  = flag.Int("parallel", 0, "worker pool size for experiment grid points (0 = GOMAXPROCS); results are identical at any value")
+
+		flightLvl = flag.String("flight-level", "none", "decision flight recorder for the robustness grid: none, decisions or counterfactual")
+		flightDir = flag.String("flight", "", "directory for per-run flight-record JSON files (default: the -out directory)")
 	)
 	flag.Parse()
+	flightLevel, err := flight.ParseLevel(*flightLvl)
+	if err != nil {
+		fatal(err)
+	}
 
 	want := map[string]bool{}
 	if *run != "" {
@@ -206,11 +215,31 @@ func main() {
 	}
 	if selected("robustness") {
 		step("Robustness: guard rails under injected faults")
-		rb, err := experiments.Robustness(env, "B", seeds)
+		rb, err := experiments.RobustnessFlight(env, experiments.RobustnessConfig{
+			Job:          "B",
+			SeedsPerCell: seeds,
+			Flight:       flightLevel,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		emit("robustness", rb.Render())
+		dir := *flightDir
+		if dir == "" {
+			dir = *out
+		}
+		if dir != "" {
+			for _, fr := range rb.Records {
+				var b strings.Builder
+				if err := fr.Record.WriteJSON(&b); err != nil {
+					fatal(err)
+				}
+				name := fmt.Sprintf("flight-robust-%s-%s-%d.json", fr.Scenario, fr.Policy, fr.Seed)
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
 	}
 	if selected("fig13") {
 		step("Figure 13: hysteresis sweep")

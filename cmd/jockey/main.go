@@ -9,12 +9,16 @@
 //	       [-hysteresis 0.2] [-deadzone 3m] [-period 1m] [-indicator totalworkWithQ]
 //	       [-scale 1.0] [-csv timeline.csv] [-parallelism N]
 //	       [-guard] [-drift-factor 2.0 -drift-at 6m]
+//	       [-flight-level none|decisions|counterfactual] [-flight record.json]
 //
 // Policies: jockey, jockey-no-adapt, jockey-no-sim, max-allocation.
 // With -deadline 0 the tool picks the job's standard short deadline.
 // -guard wraps the controller in the model-staleness guard rails (deviation
 // detection, online re-profiling, fallback chain); -drift-factor/-drift-at
 // inject an all-stage service-time drift to watch the guard react.
+// -flight-level turns on the decision flight recorder (per-tick mechanisms
+// and top-K candidates; "counterfactual" adds hindsight constant-allocation
+// replays and a regret report); -flight writes the record as JSON.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"github.com/jockeysim/jockey/internal/cluster"
 	"github.com/jockeysim/jockey/internal/core"
 	"github.com/jockeysim/jockey/internal/experiments"
+	"github.com/jockeysim/jockey/internal/flight"
 	"github.com/jockeysim/jockey/internal/utility"
 )
 
@@ -51,8 +56,17 @@ func main() {
 		guard     = flag.Bool("guard", false, "wrap the controller in the model-staleness guard rails (policy jockey only)")
 		driftFac  = flag.Float64("drift-factor", 0, "inject an all-stage service-time drift of this factor (0 = none)")
 		driftAt   = flag.Duration("drift-at", 0, "when the injected drift starts, relative to job start")
+		flightLvl = flag.String("flight-level", "none", "decision flight recorder: none, decisions or counterfactual")
+		flightOut = flag.String("flight", "", "write the flight record as JSON to this file (implies -flight-level decisions)")
 	)
 	flag.Parse()
+	flightLevel, err := flight.ParseLevel(*flightLvl)
+	if err != nil {
+		fatal(err)
+	}
+	if *flightOut != "" && flightLevel == flight.LevelNone {
+		flightLevel = flight.LevelDecisions
+	}
 
 	env := experiments.NewEnv(*seed)
 	env.Parallelism = *par
@@ -90,7 +104,7 @@ func main() {
 	if *driftFac > 0 {
 		drifts = []cluster.StageDrift{{At: *driftAt, Stage: -1, Factor: *driftFac}}
 	}
-	out, err := env.Run(experiments.SLORun{
+	out, record, err := env.RunFlight(experiments.NewExec(), experiments.SLORun{
 		Job:        *job,
 		Deadline:   d,
 		Policy:     experiments.PolicyKind(*policy),
@@ -107,7 +121,7 @@ func main() {
 			Indicator:       core.IndicatorName(*indicator),
 			OnlinePredictor: *online,
 		},
-	})
+	}, experiments.FlightConfig{Level: flightLevel})
 	if err != nil {
 		fatal(err)
 	}
@@ -136,6 +150,35 @@ func main() {
 		out.Completion.Round(time.Second), 100*out.RelCompletion, out.Met)
 	fmt.Printf("allocation above oracle: %.0f%%, spare-token tasks: %.0f%%, evictions: %d\n",
 		100*out.AboveOracle, 100*out.SpareTaskFraction, out.Evictions)
+	if record != nil && record.Counterfactual != nil {
+		cf := record.Counterfactual
+		fmt.Printf("\ncounterfactual (constant-allocation hindsight over %v):\n", cf.Candidates)
+		for _, o := range cf.Replays {
+			fmt.Printf("  alloc %3d: completed %v, met %v, %.0f token-seconds\n",
+				o.Alloc, o.Completion.Round(time.Second), o.Met, o.AllocTokenSeconds)
+		}
+		fmt.Printf("  deadline regret %.0f, token regret %.0f token-seconds", cf.DeadlineRegret, cf.TokenRegret)
+		if cf.Attributed != "" {
+			fmt.Printf(", attributed to %s", cf.Attributed)
+		}
+		fmt.Println()
+		for _, s := range cf.Attribution {
+			fmt.Printf("    %-13s %4d ticks, %.0f token-seconds of gap\n", s.Mechanism, s.Ticks, s.GapTokenSeconds)
+		}
+	}
+	if *flightOut != "" && record != nil {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := record.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flight record written to %s\n", *flightOut)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

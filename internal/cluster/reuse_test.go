@@ -231,6 +231,56 @@ func TestEngineSteadyStateAllocations(t *testing.T) {
 	}
 }
 
+// policySteadyCycle runs steadyCfg's workload with the SLO job driven by a
+// real Jockey controller (recording off), so the measured loop includes every
+// per-tick Decide call along the reused-Engine replay path. The controller is
+// stateful and must be rebuilt per cycle; its construction is the per-cycle
+// allocation constant the guard bounds.
+func policySteadyCycle(t testing.TB, eng *Engine, cfg Config, fg, bg JobConfig) {
+	pol, err := control.NewController(control.Config{
+		Predictor:  model.NewAmdahl(fg.Profile),
+		Utility:    utility.Deadline(10 * time.Minute),
+		Candidates: SLODefaults(12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg.Policy = pol
+	fg.ControlPeriod = 30 * time.Second
+	c, err := eng.Reset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(fg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePolicySteadyStateAllocations pins that the decision flight
+// recorder's control-loop hooks cost nothing when recording is off: a
+// policy-driven Reset+Submit+Run cycle allocates only the per-cycle constant
+// (controller construction plus the submission bookkeeping already pinned
+// above). The run makes ~20 control ticks; if the nil-recorder Decide path
+// allocated even once per tick, the bound would break immediately.
+func TestEnginePolicySteadyStateAllocations(t *testing.T) {
+	cfg, fg, bg := steadyCfg()
+	eng := NewEngine()
+	cycle := func() { policySteadyCycle(t, eng, cfg, fg, bg) }
+	for i := 0; i < 3; i++ {
+		cycle() // warm every pool and backing array
+	}
+	avg := testing.AllocsPerRun(10, cycle)
+	if avg > 40 {
+		t.Errorf("policy-driven steady-state cycle allocates %.1f times, want the per-cycle constant (<= 40)", avg)
+	}
+}
+
 func BenchmarkEngineFresh(b *testing.B) {
 	cfg, fg, bg := steadyCfg()
 	b.ReportAllocs()

@@ -139,6 +139,12 @@ type Controller struct {
 	started  bool
 	smoothed float64 // A^s, kept fractional between ticks
 	granted  int
+
+	// rec, when non-nil, receives one DecisionRecord per Decide call;
+	// cands and recScratch are its reused staging buffers (see record.go).
+	rec        Recorder
+	cands      []CandidateEval
+	recScratch DecisionRecord
 }
 
 // NewController builds the Jockey control loop.
@@ -198,6 +204,9 @@ func utilityKnee(u utility.Fn) time.Duration {
 // utility under the dead-zone-shifted curve:
 // A^r = argmin_a { a : U_a = max_b U_b }.
 func (c *Controller) rawAllocation(st model.State) int {
+	if c.rec != nil {
+		return c.rawAllocationRecorded(st)
+	}
 	best := -1
 	bestU := 0.0
 	for _, a := range c.cfg.Candidates {
@@ -218,9 +227,10 @@ func (c *Controller) Decide(st model.State) Decision {
 		c.started = true
 		c.smoothed = float64(raw)
 		c.granted = raw
-		return c.decision(st, raw)
+		return c.emit(st, raw, MechFirstTick)
 	}
 	target := raw
+	mech := MechModel
 	if target > c.granted && c.cfg.DeadZone > 0 && c.deadline > 0 {
 		// Dead zone: the shifted utility curve already targets deadline−D,
 		// so the job is "at least D behind schedule" only when its predicted
@@ -230,6 +240,7 @@ func (c *Controller) Decide(st model.State) Decision {
 		predicted := c.predictAt(st, c.granted)
 		if predicted <= c.deadline {
 			target = c.granted
+			mech = MechDeadZone
 		}
 	}
 	// Hysteresis: A^s_t = A^s_{t-1} + α (A^r − A^s_{t-1}).
@@ -243,7 +254,12 @@ func (c *Controller) Decide(st model.State) Decision {
 		g = hi
 	}
 	c.granted = g
-	return c.decision(st, raw)
+	if g == raw {
+		mech = MechModel
+	} else if mech != MechDeadZone {
+		mech = MechHysteresis
+	}
+	return c.emit(st, raw, mech)
 }
 
 // SetPredictor swaps the latency predictor mid-run, keeping the smoothing

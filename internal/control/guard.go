@@ -187,6 +187,55 @@ type Guard struct {
 	// to spare, exposing them to eviction).
 	recoverStreak int
 	events        []GuardEvent
+
+	// rec, when non-nil, receives the final per-tick DecisionRecord. The
+	// inner controller emits into capture (stashing the record in pending)
+	// so the guard can amend it — mode, deviation, urgency overrides —
+	// before forwarding; panic ticks, which bypass the controller, publish
+	// through pscratch instead.
+	rec      Recorder
+	capture  guardCapture
+	pending  *DecisionRecord
+	pscratch DecisionRecord
+}
+
+// guardCapture intercepts the inner controller's decision records so the
+// guard can finalize them after its own overrides run.
+type guardCapture struct{ g *Guard }
+
+// RecordDecision implements Recorder.
+func (gc *guardCapture) RecordDecision(r *DecisionRecord) { gc.g.pending = r }
+
+// SetRecorder installs (or, with nil, removes) the decision recorder. The
+// guard re-emits the inner controller's records after applying its
+// overrides, so recorders see the grant that actually took effect.
+func (g *Guard) SetRecorder(rec Recorder) {
+	g.rec = rec
+	g.pending = nil
+	if rec == nil {
+		g.cfg.Controller.SetRecorder(nil)
+		return
+	}
+	g.capture = guardCapture{g: g}
+	g.cfg.Controller.SetRecorder(&g.capture)
+}
+
+// flushPending forwards the controller's captured record, synced to the
+// decision as finally returned. mech overrides the mechanism when non-empty.
+func (g *Guard) flushPending(d Decision, mech string) {
+	r := g.pending
+	g.pending = nil
+	if g.rec == nil || r == nil {
+		return
+	}
+	r.Granted = d.Granted
+	r.Predicted = d.Predicted
+	r.Mode = d.Mode
+	r.Deviation = d.Deviation
+	if mech != "" {
+		r.Mechanism = mech
+	}
+	g.rec.RecordDecision(r)
 }
 
 // NewGuard builds the guard-rail layer. See GuardConfig.
@@ -218,8 +267,12 @@ func (g *Guard) ChangeUtility(u utility.Fn) { g.cfg.Controller.ChangeUtility(u) 
 // Mode returns the current rung of the fallback chain.
 func (g *Guard) Mode() GuardMode { return g.mode }
 
-// Events returns the transition log (reprofiles, fallbacks, panics).
-func (g *Guard) Events() []GuardEvent { return g.events }
+// Events returns a copy of the transition log (reprofiles, fallbacks,
+// panics). The copy keeps callers from mutating — or observing later
+// appends to — the guard's internal log.
+func (g *Guard) Events() []GuardEvent {
+	return append([]GuardEvent(nil), g.events...)
+}
 
 // Reprofiles returns how many in-place model rebuilds have happened.
 func (g *Guard) Reprofiles() int { return g.reprofiles }
@@ -472,6 +525,7 @@ func (g *Guard) Decide(st model.State) Decision {
 		return g.panicDecision(st)
 	}
 	d := g.cfg.Controller.Decide(st)
+	boosted := false
 	if g.alarm && !g.cfg.Tuning.DisableFallback {
 		c := g.cfg.Controller
 		if dl := c.Deadline(); dl > 0 {
@@ -486,6 +540,7 @@ func (g *Guard) Decide(st model.State) Decision {
 				c.granted = d.Raw
 				d.Granted = d.Raw
 				d.Predicted = c.PredictAt(st, d.Raw)
+				boosted = true
 			case pred+c.cfg.DeadZone <= dl:
 				// Predictions are comfortably inside the deadline again: stand
 				// down until the detector re-fires.
@@ -495,6 +550,11 @@ func (g *Guard) Decide(st model.State) Decision {
 	}
 	d.Mode = g.mode.String()
 	d.Deviation = score
+	if boosted {
+		g.flushPending(d, MechUrgencyBoost)
+	} else {
+		g.flushPending(d, "")
+	}
 	return d
 }
 
@@ -525,6 +585,7 @@ func (g *Guard) panicDecision(st model.State) Decision {
 		c.granted = g.cfg.MaxAllocation
 		dec := c.Decide(st)
 		dec.Mode = g.mode.String()
+		g.flushPending(dec, "")
 		return dec
 	}
 	// Keep the controller's bookkeeping consistent with the forced grant.
@@ -539,6 +600,22 @@ func (g *Guard) panicDecision(st model.State) Decision {
 	}
 	if prog, ok := c.cfg.Predictor.(interface{ Progress(model.State) float64 }); ok {
 		dec.Progress = prog.Progress(st)
+	}
+	if g.rec != nil {
+		// Panic bypasses the controller, so no record was captured; build
+		// one. The candidate sweep runs only when recording and queries only
+		// pure or memoized predictors, so it cannot perturb the trajectory.
+		c.rawAllocationRecorded(st)
+		g.pscratch = DecisionRecord{
+			At:         st.Elapsed,
+			Raw:        dec.Raw,
+			Granted:    dec.Granted,
+			Mechanism:  MechGuardPanic,
+			Mode:       dec.Mode,
+			Predicted:  dec.Predicted,
+			Candidates: c.cands,
+		}
+		g.rec.RecordDecision(&g.pscratch)
 	}
 	return dec
 }

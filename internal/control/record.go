@@ -1,0 +1,123 @@
+package control
+
+import (
+	"time"
+
+	"github.com/jockeysim/jockey/internal/model"
+)
+
+// Mechanism labels for decision records: which control mechanism determined
+// the final grant at a tick. The flight recorder's counterfactual analyzer
+// groups regret attribution by these names, so they are part of the stable
+// flight-record schema (internal/flight/json.go).
+const (
+	// MechModel: the grant equals the raw model argmax — the model alone
+	// decided.
+	MechModel = "model"
+	// MechFirstTick: the initial pessimistic jump straight to the raw
+	// allocation (no smoothing state exists yet).
+	MechFirstTick = "first-tick"
+	// MechHysteresis: exponential smoothing kept the grant away from the raw
+	// want.
+	MechHysteresis = "hysteresis"
+	// MechDeadZone: the dead zone held the previous grant although the raw
+	// allocation wanted to rise.
+	MechDeadZone = "dead-zone"
+	// MechUrgencyBoost: the guard bypassed hysteresis and jumped the grant to
+	// the raw allocation (stale model, deadline at risk).
+	MechUrgencyBoost = "urgency-boost"
+	// MechGuardPanic: the guard granted the full token budget (panic rung).
+	MechGuardPanic = "guard-panic"
+)
+
+// CandidateEval is one candidate allocation's evaluation at a control tick.
+type CandidateEval struct {
+	// Alloc is the candidate allocation (tokens).
+	Alloc int
+	// Utility is the expected utility under the dead-zone-shifted curve —
+	// exactly the value the raw-allocation argmax compares.
+	Utility float64
+	// Predicted is the worst-case completion estimate at this allocation
+	// (elapsed + slack · Remaining at the configured quantile).
+	Predicted time.Duration
+}
+
+// DecisionRecord is the flight recorder's view of one control decision: the
+// Decision plus the mechanism that determined the grant and the full
+// candidate evaluation the argmax ran over.
+//
+// Candidates aliases an internal scratch buffer owned by the emitting policy;
+// it is valid only for the duration of the RecordDecision call and must be
+// copied by recorders that retain it.
+type DecisionRecord struct {
+	// At is the job's elapsed time at the tick.
+	At time.Duration
+	// Raw and Granted mirror Decision.Raw and Decision.Granted.
+	Raw, Granted int
+	// Mechanism is the Mech* constant naming what determined the grant.
+	Mechanism string
+	// Mode and Deviation mirror Decision.Mode and Decision.Deviation ("" and
+	// 0 for unguarded controllers).
+	Mode      string
+	Deviation float64
+	// Predicted mirrors Decision.Predicted (the estimate at the grant).
+	Predicted time.Duration
+	// Candidates holds every candidate's evaluation, ascending by
+	// allocation. Empty when the tick bypassed the argmax entirely.
+	Candidates []CandidateEval
+}
+
+// Recorder receives one DecisionRecord per control tick. Implementations
+// must treat the record (and its Candidates slice) as borrowed: both are
+// reused by the emitter on the next tick.
+type Recorder interface {
+	RecordDecision(r *DecisionRecord)
+}
+
+// Recordable is implemented by policies that support decision recording
+// (Controller and Guard). SetRecorder(nil) turns recording off; the nil
+// path adds zero allocations and does not perturb decisions (extra
+// candidate evaluations on the recording path hit only pure or memoized
+// predictor queries).
+type Recordable interface {
+	SetRecorder(Recorder)
+}
+
+// SetRecorder installs (or, with nil, removes) the decision recorder.
+func (c *Controller) SetRecorder(rec Recorder) { c.rec = rec }
+
+// rawAllocationRecorded is rawAllocation with per-candidate capture: same
+// argmax, but every candidate's utility and predicted completion are staged
+// into the controller's scratch buffer for the recorder.
+func (c *Controller) rawAllocationRecorded(st model.State) int {
+	c.cands = c.cands[:0]
+	best := -1
+	bestU := 0.0
+	for _, a := range c.cfg.Candidates {
+		ua := c.cfg.Predictor.ExpectedUtility(st, a, c.cfg.Slack, c.effU)
+		c.cands = append(c.cands, CandidateEval{Alloc: a, Utility: ua, Predicted: c.predictAt(st, a)})
+		if best == -1 || ua > bestU+1e-9 {
+			best, bestU = a, ua
+		}
+	}
+	return best
+}
+
+// emit finalizes a decision and, when a recorder is installed, publishes the
+// tick's DecisionRecord. The record and its candidate slice are scratch
+// state reused across ticks.
+func (c *Controller) emit(st model.State, raw int, mech string) Decision {
+	d := c.decision(st, raw)
+	if c.rec != nil {
+		c.recScratch = DecisionRecord{
+			At:         st.Elapsed,
+			Raw:        raw,
+			Granted:    d.Granted,
+			Mechanism:  mech,
+			Predicted:  d.Predicted,
+			Candidates: c.cands,
+		}
+		c.rec.RecordDecision(&c.recScratch)
+	}
+	return d
+}

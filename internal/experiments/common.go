@@ -313,6 +313,17 @@ type SLORun struct {
 	Contention  []cluster.ContentionWindow
 	OnDecision  func(at time.Duration, d control.Decision)
 	OnSample    func(at time.Duration, st model.State)
+	// Flight, if non-nil, receives one control.DecisionRecord per control
+	// tick of the SLO job's policy. Only policies that support recording
+	// emit (the Jockey controller and its guarded variant); recording never
+	// perturbs the run (pinned by TestFlightRecordingDoesNotPerturb).
+	Flight control.Recorder
+	// fixedAlloc, when positive, bypasses the policy and grants a constant
+	// allocation for the whole run — the counterfactual replay mode of
+	// internal/flight. Everything else (cluster, failures, background load,
+	// faults) derives from the same seeds, which is what makes hindsight
+	// replays exact.
+	fixedAlloc int
 }
 
 // SLOJobStart is when Env.Run submits the tracked SLO job: it arrives into a
@@ -445,9 +456,19 @@ func (e *Env) RunExec(x *Exec, r SLORun) (Outcome, error) {
 	if scale != 1 {
 		ground = ground.Scale(scale)
 	}
-	pol, err := e.buildPolicy(r)
+	var pol control.Policy
+	if r.fixedAlloc > 0 {
+		pol, err = control.NewMaxAllocation(r.fixedAlloc)
+	} else {
+		pol, err = e.buildPolicy(r)
+	}
 	if err != nil {
 		return Outcome{}, err
+	}
+	if r.Flight != nil {
+		if rp, ok := pol.(control.Recordable); ok {
+			rp.SetRecorder(r.Flight)
+		}
 	}
 	c, err := x.engine.Reset(cluster.Config{
 		Machines:        e.Machines,

@@ -6,6 +6,8 @@ import (
 
 	"github.com/jockeysim/jockey/internal/cluster"
 	"github.com/jockeysim/jockey/internal/control"
+	"github.com/jockeysim/jockey/internal/flight"
+	"github.com/jockeysim/jockey/internal/grid"
 	"github.com/jockeysim/jockey/internal/stats"
 )
 
@@ -86,6 +88,15 @@ type RobustnessRow struct {
 	MeanChurn float64 // mean Σ|Δgranted| per run, tokens
 	// Guard transition totals across the cell (guarded rows only).
 	Reprofiles, Fallbacks, Panics int
+	// Counterfactual aggregates (flight level counterfactual only).
+	// HindsightMiss counts runs that missed the deadline although some
+	// constant allocation met it; MeanTokenRegret is the mean token-seconds
+	// spent above the cheapest deadline-meeting constant allocation (met
+	// runs); Attributed is the cell's dominant gap mechanism by summed
+	// token-seconds ("" when no run had regret).
+	HindsightMiss   int
+	MeanTokenRegret float64
+	Attributed      string
 }
 
 // MissRate is the fraction of runs that missed the deadline.
@@ -96,22 +107,62 @@ func (r RobustnessRow) MissRate() float64 {
 	return float64(r.Runs-r.Met) / float64(r.Runs)
 }
 
+// RobustnessConfig parameterizes the robustness grid; the zero value gives
+// the legacy Robustness(env, "B", 3) behavior with no flight recording.
+type RobustnessConfig struct {
+	// Job is the Table 2 job (default "B").
+	Job string
+	// SeedsPerCell is the paired runs per (scenario, policy) cell (default 3).
+	SeedsPerCell int
+	// Flight selects decision recording for every run of the grid; at
+	// LevelCounterfactual each run also gets a hindsight regret report, the
+	// rows gain regret columns, and Records carries the per-run files.
+	Flight flight.Level
+	// FlightTopK and ReplayCandidates tune the recorder (see FlightConfig).
+	FlightTopK       int
+	ReplayCandidates int
+}
+
+// RobustnessRecord is one run's flight record with its grid coordinates.
+type RobustnessRecord struct {
+	Scenario string
+	Policy   string
+	Seed     int
+	Record   *flight.Record
+}
+
 // RobustnessResult is the guard-rail robustness experiment: deadline-miss
-// rate and allocation churn across the perturbation grid.
+// rate and allocation churn across the perturbation grid, plus — when flight
+// recording is on — hindsight regret per cell and per-run flight records.
 type RobustnessResult struct {
 	Job      string
 	Deadline time.Duration
+	Flight   flight.Level
 	Rows     []RobustnessRow
+	// Records holds one flight record per run, in grid task order (empty at
+	// LevelNone).
+	Records []RobustnessRecord
 }
 
-// Robustness runs the perturbation grid. Every variant in a (scenario, seed)
-// pair sees the identical cluster, background load and faults, so the
-// comparison is paired. Input scale is pinned to 1 so the injected faults are
-// the only source of model staleness.
+// Robustness runs the perturbation grid with flight recording off. Every
+// variant in a (scenario, seed) pair sees the identical cluster, background
+// load and faults, so the comparison is paired. Input scale is pinned to 1
+// so the injected faults are the only source of model staleness.
 func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, error) {
+	return RobustnessFlight(env, RobustnessConfig{Job: job, SeedsPerCell: seedsPerCell})
+}
+
+// RobustnessFlight is Robustness with per-run decision flight recording. At
+// LevelCounterfactual the hindsight replays are shared across policy
+// variants through a single-flight cache: a replay's outcome depends only on
+// (scenario, seed, alloc), not on which policy was recorded, so the paired
+// grid costs one replay sweep per (scenario, seed) instead of four.
+func RobustnessFlight(env *Env, cfg RobustnessConfig) (*RobustnessResult, error) {
+	job := cfg.Job
 	if job == "" {
 		job = "B"
 	}
+	seedsPerCell := cfg.SeedsPerCell
 	if seedsPerCell <= 0 {
 		seedsPerCell = 3
 	}
@@ -120,15 +171,20 @@ func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, erro
 		return nil, err
 	}
 	scenarios := DefaultRobustnessScenarios(short)
-	var tasks []execTask[Outcome]
+	type cell struct {
+		out Outcome
+		rec *flight.Record
+	}
+	var replays grid.Cache[flight.ReplayOutcome]
+	var tasks []execTask[cell]
 	for _, sc := range scenarios {
 		for _, v := range RobustnessVariants {
 			for s := 0; s < seedsPerCell; s++ {
 				sc, v, s := sc, v, s
-				tasks = append(tasks, execTask[Outcome]{
+				tasks = append(tasks, execTask[cell]{
 					key: fmt.Sprintf("robust/%s/%s/%d", sc.Name, v.Name, s),
-					run: func(x *Exec) (Outcome, error) {
-						return env.RunExec(x, SLORun{
+					run: func(x *Exec) (cell, error) {
+						r := SLORun{
 							Job:         job,
 							Deadline:    short,
 							Policy:      v.Policy,
@@ -138,7 +194,15 @@ func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, erro
 							Drifts:      sc.Drifts,
 							RackOutages: sc.RackOutages,
 							Contention:  sc.Contention,
+						}
+						o, rec, err := env.RunFlight(x, r, FlightConfig{
+							Level:            cfg.Flight,
+							TopK:             cfg.FlightTopK,
+							ReplayCandidates: cfg.ReplayCandidates,
+							replayKey:        fmt.Sprintf("robust/%s/%d", sc.Name, s),
+							replays:          &replays,
 						})
+						return cell{out: o, rec: rec}, err
 					},
 				})
 			}
@@ -148,14 +212,16 @@ func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, erro
 	if err != nil {
 		return nil, err
 	}
-	out := &RobustnessResult{Job: job, Deadline: short}
+	out := &RobustnessResult{Job: job, Deadline: short, Flight: cfg.Flight}
 	i := 0
 	for _, sc := range scenarios {
 		for _, v := range RobustnessVariants {
 			row := RobustnessRow{Scenario: sc.Name, Policy: v.Name}
-			var rels, aboves, churns []float64
+			var rels, aboves, churns, tokRegrets []float64
+			gaps := newAttributionTally()
 			for s := 0; s < seedsPerCell; s++ {
-				o := results[i]
+				o := results[i].out
+				rec := results[i].rec
 				i++
 				row.Runs++
 				if o.Met {
@@ -174,21 +240,82 @@ func Robustness(env *Env, job string, seedsPerCell int) (*RobustnessResult, erro
 						row.Panics++
 					}
 				}
+				if rec != nil {
+					out.Records = append(out.Records, RobustnessRecord{
+						Scenario: sc.Name, Policy: v.Name, Seed: s, Record: rec,
+					})
+					if cf := rec.Counterfactual; cf != nil {
+						if cf.DeadlineRegret > 0 {
+							row.HindsightMiss++
+						}
+						tokRegrets = append(tokRegrets, cf.TokenRegret)
+						for _, sh := range cf.Attribution {
+							gaps.add(sh.Mechanism, sh.GapTokenSeconds)
+						}
+					}
+				}
 			}
 			row.MeanRel = stats.Mean(rels)
 			row.MeanAbove = stats.Mean(aboves)
 			row.MeanChurn = stats.Mean(churns)
+			if len(tokRegrets) > 0 {
+				row.MeanTokenRegret = stats.Mean(tokRegrets)
+			}
+			row.Attributed = gaps.dominant()
 			out.Rows = append(out.Rows, row)
 		}
 	}
 	return out, nil
 }
 
-// Render prints the robustness grid.
+// attributionTally sums gap token-seconds by mechanism, deterministically:
+// insertion order is preserved, so dominant() never ranges over a map.
+type attributionTally struct {
+	order []string
+	sums  map[string]float64
+}
+
+func newAttributionTally() *attributionTally {
+	return &attributionTally{sums: map[string]float64{}}
+}
+
+func (t *attributionTally) add(mech string, tokenSeconds float64) {
+	if _, ok := t.sums[mech]; !ok {
+		t.order = append(t.order, mech)
+	}
+	t.sums[mech] += tokenSeconds
+}
+
+// dominant returns the mechanism with the largest summed gap (ties: first
+// added, i.e. the analyzer's own largest-first order), or "".
+func (t *attributionTally) dominant() string {
+	best := ""
+	for _, m := range t.order {
+		if best == "" || t.sums[m] > t.sums[best] {
+			best = m
+		}
+	}
+	return best
+}
+
+// Render prints the robustness grid. With counterfactual flight recording
+// on, three regret columns are appended: hmiss (runs whose deadline miss
+// was avoidable in hindsight), tok-regret (mean token-seconds above the
+// cheapest deadline-meeting constant allocation) and attributed (the cell's
+// dominant gap mechanism). Without it, the output is byte-identical to the
+// pre-flight renderer.
 func (r *RobustnessResult) Render() string {
+	counterfactual := r.Flight == flight.LevelCounterfactual
+	headers := []string{"scenario", "policy", "met", "miss", "rel", "above", "churn", "guard"}
+	title := fmt.Sprintf("Robustness: guard rails under injected faults (job %s, deadline %v)\n"+
+		"(guard column: reprofiles/fallbacks/panics across the cell)", r.Job, r.Deadline)
+	if counterfactual {
+		headers = append(headers, "hmiss", "tok-regret", "attributed")
+		title += "\n(hmiss: avoidable misses; tok-regret: mean token-seconds above the cheapest hindsight-met allocation)"
+	}
 	var rows [][]string
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
+		cells := []string{
 			row.Scenario,
 			row.Policy,
 			fmt.Sprintf("%d/%d", row.Met, row.Runs),
@@ -197,11 +324,19 @@ func (r *RobustnessResult) Render() string {
 			pct(row.MeanAbove),
 			fmt.Sprintf("%.0f", row.MeanChurn),
 			fmt.Sprintf("%d/%d/%d", row.Reprofiles, row.Fallbacks, row.Panics),
-		})
+		}
+		if counterfactual {
+			attributed := row.Attributed
+			if attributed == "" {
+				attributed = "-"
+			}
+			cells = append(cells,
+				fmt.Sprintf("%d/%d", row.HindsightMiss, row.Runs),
+				fmt.Sprintf("%.0f", row.MeanTokenRegret),
+				attributed,
+			)
+		}
+		rows = append(rows, cells)
 	}
-	return renderTable(
-		fmt.Sprintf("Robustness: guard rails under injected faults (job %s, deadline %v)\n"+
-			"(guard column: reprofiles/fallbacks/panics across the cell)", r.Job, r.Deadline),
-		[]string{"scenario", "policy", "met", "miss", "rel", "above", "churn", "guard"},
-		rows)
+	return renderTable(title, headers, rows)
 }

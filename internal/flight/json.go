@@ -1,0 +1,104 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteJSON serializes the record. The schema is stable (SchemaVersion) and
+// deterministic: encoding/json emits struct fields in declaration order, and
+// validation rejects non-finite floats up front, so a valid record always
+// encodes, and byte-identical records mean byte-identical runs.
+func (r *Record) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("flight: encoding: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(r)
+}
+
+// ReadJSON deserializes and validates a record written by WriteJSON.
+func ReadJSON(rd io.Reader) (*Record, error) {
+	var r Record
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("flight: decoding: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("flight: decoded record: %w", err)
+	}
+	return &r, nil
+}
+
+// Validate checks the invariants every consumable record holds: a known
+// schema and level, a job name, time-ordered ticks, finite floats
+// everywhere, and a counterfactual section (if present) whose replays align
+// with its ascending candidate set. Records that pass always re-encode, and
+// decode→encode→decode is stable (pinned by FuzzFlightJSON).
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("record has schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Job == "" {
+		return fmt.Errorf("record has no job name")
+	}
+	if _, err := ParseLevel(r.Level); err != nil || r.Level == "" {
+		return fmt.Errorf("record has unknown level %q", r.Level)
+	}
+	if r.TopK < 0 {
+		return fmt.Errorf("record has negative top_k %d", r.TopK)
+	}
+	for i, t := range r.Ticks {
+		if t.At < 0 {
+			return fmt.Errorf("tick %d has negative time %v", i, t.At)
+		}
+		if i > 0 && t.At < r.Ticks[i-1].At {
+			return fmt.Errorf("tick %d goes back in time (%v after %v)", i, t.At, r.Ticks[i-1].At)
+		}
+		if !finite(t.Deviation) || !finite(t.Regret) {
+			return fmt.Errorf("tick %d has a non-finite float", i)
+		}
+		for j, c := range t.Candidates {
+			if !finite(c.Utility) {
+				return fmt.Errorf("tick %d candidate %d has non-finite utility", i, j)
+			}
+		}
+	}
+	if cf := r.Counterfactual; cf != nil {
+		if len(cf.Replays) != len(cf.Candidates) {
+			return fmt.Errorf("counterfactual has %d replays for %d candidates", len(cf.Replays), len(cf.Candidates))
+		}
+		for i, a := range cf.Candidates {
+			if a <= 0 {
+				return fmt.Errorf("counterfactual candidate %d is non-positive (%d)", i, a)
+			}
+			if i > 0 && a <= cf.Candidates[i-1] {
+				return fmt.Errorf("counterfactual candidates not strictly ascending at %d", i)
+			}
+			if cf.Replays[i].Alloc != a {
+				return fmt.Errorf("counterfactual replay %d has alloc %d, want %d", i, cf.Replays[i].Alloc, a)
+			}
+		}
+		outs := append([]ReplayOutcome{cf.Actual}, cf.Replays...)
+		for i, o := range outs {
+			if !finite(o.AllocTokenSeconds) {
+				return fmt.Errorf("counterfactual outcome %d has non-finite token-seconds", i)
+			}
+		}
+		if !finite(cf.DeadlineRegret) || !finite(cf.TokenRegret) {
+			return fmt.Errorf("counterfactual has a non-finite regret")
+		}
+		for i, s := range cf.Attribution {
+			if !finite(s.GapTokenSeconds) {
+				return fmt.Errorf("counterfactual attribution %d has non-finite token-seconds", i)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

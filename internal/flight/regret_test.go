@@ -1,0 +1,224 @@
+package flight
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// syntheticWorld is a deterministic alloc → outcome map standing in for the
+// cluster: completion falls (noisily but reproducibly) with allocation, and
+// token cost is the constant grant integrated over the run. Every query for
+// the same (seed, alloc) returns the identical outcome — the same exactness
+// contract the real replayer gets from derived seeds.
+type syntheticWorld struct {
+	seed     uint64
+	deadline time.Duration
+}
+
+func (w syntheticWorld) replay(alloc int) (ReplayOutcome, error) {
+	rng := stats.NewRNG(stats.DeriveSeed(w.seed, "world", "alloc", time.Duration(alloc).String()))
+	work := 30*time.Minute + time.Duration(rng.Int64N(int64(90*time.Minute)))
+	speedup := float64(alloc) * (0.5 + rng.Float64()) // imperfect scaling
+	if speedup < 1 {
+		speedup = 1
+	}
+	completion := time.Duration(float64(work) / speedup)
+	return ReplayOutcome{
+		Alloc:             alloc,
+		Completion:        completion,
+		Met:               completion <= w.deadline,
+		AllocTokenSeconds: float64(alloc) * completion.Seconds(),
+	}, nil
+}
+
+// worldCase is one randomized property-test case, generated entirely from
+// quick's fuzzed fields so every case is reproducible from the logged value.
+type worldCase struct {
+	Seed     uint64
+	Deadline uint16 // minutes, offset below
+	NCands   uint8
+	Chosen   uint8
+}
+
+func (c worldCase) world() syntheticWorld {
+	return syntheticWorld{
+		seed:     c.Seed,
+		deadline: 5*time.Minute + time.Duration(c.Deadline%120)*time.Minute,
+	}
+}
+
+// candidates derives an ascending positive candidate set of 1..8 allocations.
+func (c worldCase) candidates() []int {
+	n := 1 + int(c.NCands%8)
+	rng := stats.NewRNG(stats.DeriveSeed(c.Seed, "cands"))
+	set := map[int]bool{}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		a := 1 + rng.IntN(100)
+		if !set[a] {
+			set[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestRegretNonNegative: both regret components are ≥ 0 for every run, even
+// when the "actual" outcome is an arbitrary trajectory unrelated to any
+// candidate.
+func TestRegretNonNegative(t *testing.T) {
+	prop := func(c worldCase, actualAlloc uint8) bool {
+		w := c.world()
+		actual, _ := w.replay(1 + int(actualAlloc%120))
+		actual.Alloc = 0 // the actual run is a trajectory, not a candidate
+		reg, err := Counterfactual(nil, actual, c.candidates(), w.replay)
+		if err != nil {
+			return false
+		}
+		return reg.DeadlineRegret >= 0 && reg.TokenRegret >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegretZeroAtHindsightOptimum: when the actual trajectory already equals
+// the hindsight-best constant allocation, both regrets are exactly 0.
+func TestRegretZeroAtHindsightOptimum(t *testing.T) {
+	prop := func(c worldCase) bool {
+		w := c.world()
+		cands := c.candidates()
+		best, _ := w.replay(cands[0])
+		for _, a := range cands[1:] {
+			o, _ := w.replay(a)
+			if betterOutcome(o, best) {
+				best = o
+			}
+		}
+		actual := best
+		actual.Alloc = 0
+		reg, err := Counterfactual(nil, actual, cands, w.replay)
+		if err != nil {
+			return false
+		}
+		return reg.DeadlineRegret == 0 && reg.TokenRegret == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegretMonotoneUnderShrinkage: removing candidates (down to the chosen
+// allocation alone) never increases either regret component — hindsight can
+// only get weaker as its option set shrinks.
+func TestRegretMonotoneUnderShrinkage(t *testing.T) {
+	prop := func(c worldCase) bool {
+		w := c.world()
+		cands := c.candidates()
+		chosen := cands[int(c.Chosen)%len(cands)]
+		actual, _ := w.replay(chosen)
+		actual.Alloc = 0
+
+		// Shrink by repeatedly dropping the first non-chosen candidate.
+		set := append([]int(nil), cands...)
+		prevDeadline, prevToken := 2.0, 1e18
+		for {
+			reg, err := Counterfactual(nil, actual, set, w.replay)
+			if err != nil {
+				return false
+			}
+			if reg.DeadlineRegret > prevDeadline || reg.TokenRegret > prevToken {
+				return false
+			}
+			prevDeadline, prevToken = reg.DeadlineRegret, reg.TokenRegret
+			if len(set) == 1 {
+				// Shrunk to {chosen}: the actual trajectory IS that constant
+				// run, so regret must have reached exactly 0.
+				return reg.DeadlineRegret == 0 && reg.TokenRegret == 0
+			}
+			drop := 0
+			if set[drop] == chosen {
+				drop = 1
+			}
+			set = append(set[:drop], set[drop+1:]...)
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCounterfactualDeduplicatesCandidates: duplicates and non-positive
+// allocations are dropped; replays align with the cleaned ascending set.
+func TestCounterfactualDeduplicatesCandidates(t *testing.T) {
+	w := syntheticWorld{seed: 7, deadline: 30 * time.Minute}
+	actual, _ := w.replay(10)
+	actual.Alloc = 0
+	reg, err := Counterfactual(nil, actual, []int{50, -3, 10, 50, 0, 10}, w.replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Candidates) != 2 || reg.Candidates[0] != 10 || reg.Candidates[1] != 50 {
+		t.Fatalf("candidates = %v, want [10 50]", reg.Candidates)
+	}
+	for i, o := range reg.Replays {
+		if o.Alloc != reg.Candidates[i] {
+			t.Fatalf("replay %d has alloc %d, want %d", i, o.Alloc, reg.Candidates[i])
+		}
+	}
+}
+
+// TestAttributionTargetsNamedMechanisms: a run that missed while a replay
+// met must attribute its shortfall to named mechanisms that sum over the
+// under-provisioned ticks.
+func TestAttributionTargetsNamedMechanisms(t *testing.T) {
+	deadline := 20 * time.Minute
+	ticks := []Tick{
+		{At: 0, Granted: 10, Mechanism: "first-tick"},
+		{At: 5 * time.Minute, Granted: 10, Mechanism: "dead-zone"},
+		{At: 10 * time.Minute, Granted: 20, Mechanism: "hysteresis"},
+		{At: 15 * time.Minute, Granted: 60, Mechanism: "model"},
+	}
+	actual := ReplayOutcome{Completion: 25 * time.Minute, Met: false, AllocTokenSeconds: 30000}
+	replay := func(alloc int) (ReplayOutcome, error) {
+		met := alloc >= 50
+		return ReplayOutcome{
+			Alloc:             alloc,
+			Completion:        deadline - time.Duration(alloc)*time.Second,
+			Met:               met,
+			AllocTokenSeconds: float64(alloc) * 1000,
+		}, nil
+	}
+	reg, err := Counterfactual(ticks, actual, []int{10, 50, 100}, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.DeadlineRegret != 1 {
+		t.Fatalf("deadline regret = %v, want 1 (alloc 50 met)", reg.DeadlineRegret)
+	}
+	if reg.HindsightAlloc != 50 {
+		t.Fatalf("hindsight alloc = %d, want the cheaper met replay 50", reg.HindsightAlloc)
+	}
+	// Shortfall vs target 50: ticks 0–2 are short by 40, 40, 30 over 5 min
+	// each; tick 3 granted 60 > 50 contributes nothing.
+	want := map[string]float64{
+		AttributionModelError: 40 * 300, // first-tick
+		AttributionDeadZone:   40 * 300,
+		AttributionHysteresis: 30 * 300,
+	}
+	if len(reg.Attribution) != len(want) {
+		t.Fatalf("attribution = %+v, want %d mechanisms", reg.Attribution, len(want))
+	}
+	for _, s := range reg.Attribution {
+		if w, ok := want[s.Mechanism]; !ok || s.GapTokenSeconds != w {
+			t.Errorf("share %q = %v token-seconds, want %v", s.Mechanism, s.GapTokenSeconds, want[s.Mechanism])
+		}
+	}
+	// Largest-first with the dead-zone/model-error tie broken by name.
+	if reg.Attributed != AttributionDeadZone {
+		t.Errorf("attributed = %q, want dead-zone (tie broken by name)", reg.Attributed)
+	}
+}

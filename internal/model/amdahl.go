@@ -22,11 +22,14 @@ import (
 // "Jockey w/o simulator" baseline under-provisions and misses deadlines.
 type Amdahl struct {
 	p *profile.Profile
+	// cp holds the precomputed critical-path vectors so the per-tick
+	// Estimate never touches the allocator.
+	cp progress.CriticalPath
 }
 
 // NewAmdahl builds the analytic predictor from a job profile.
 func NewAmdahl(p *profile.Profile) *Amdahl {
-	return &Amdahl{p: p}
+	return &Amdahl{p: p, cp: progress.NewCriticalPath(p)}
 }
 
 // Name implements Predictor.
@@ -37,7 +40,7 @@ func (m *Amdahl) Estimate(fs []float64, a int) time.Duration {
 	if a < 1 {
 		a = 1
 	}
-	st := progress.RemainingCriticalPath(m.p, fs)
+	st := m.cp.Remaining(fs)
 	var pt time.Duration
 	// Stages is a slice, so this float accumulation runs in stage-index
 	// order every time; keep it that way — a map here would make P_t

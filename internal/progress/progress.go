@@ -149,13 +149,36 @@ func remainingCP(ls, Ls []time.Duration, fs []float64) time.Duration {
 	return best
 }
 
-// RemainingCriticalPath exposes S_t for the Amdahl model (package model).
-func RemainingCriticalPath(p *profile.Profile, fs []float64) time.Duration {
-	ls := make([]time.Duration, len(p.Stages))
+// CriticalPath is a precomputed S_t evaluator over a fixed profile. Building
+// it hoists the per-stage l_s and L_s vectors out of the query path, so
+// Remaining is allocation-free — callers that evaluate S_t once per control
+// tick (the Amdahl predictor) stay off the allocator.
+type CriticalPath struct {
+	ls []time.Duration // longest task per stage
+	Ls []time.Duration // longest path after each stage
+}
+
+// NewCriticalPath precomputes the critical-path vectors from a profile.
+func NewCriticalPath(p *profile.Profile) CriticalPath {
+	c := CriticalPath{Ls: p.LongestPathAfter()}
+	c.ls = make([]time.Duration, len(p.Stages))
 	for s, sp := range p.Stages {
-		ls[s] = sp.LongestTask
+		c.ls[s] = sp.LongestTask
 	}
-	return remainingCP(ls, p.LongestPathAfter(), fs)
+	return c
+}
+
+// Remaining returns S_t for the given per-stage completed fractions (nil
+// means nothing has run).
+func (c CriticalPath) Remaining(fs []float64) time.Duration {
+	return remainingCP(c.ls, c.Ls, fs)
+}
+
+// RemainingCriticalPath exposes S_t for one-shot callers. Per-tick callers
+// should hold a NewCriticalPath instead: this convenience form rebuilds the
+// stage vectors on every call.
+func RemainingCriticalPath(p *profile.Profile, fs []float64) time.Duration {
+	return NewCriticalPath(p).Remaining(fs)
 }
 
 // Span is the normalized [begin, end] interval of one stage's activity

@@ -29,6 +29,7 @@ var DeterministicPackages = map[string]bool{
 	"progress": true,
 	"workload": true,
 	"grid":     true,
+	"flight":   true,
 }
 
 // All returns the full suite in rule-table order.

@@ -19,8 +19,16 @@ func TestWalltimeGridWorkerPool(t *testing.T) {
 	vettest.Run(t, "testdata/walltime/grid", rules.Walltime)
 }
 
+func TestWalltimeFlightRecorder(t *testing.T) {
+	vettest.Run(t, "testdata/walltime/flight", rules.Walltime)
+}
+
 func TestGlobalRand(t *testing.T) {
 	vettest.Run(t, "testdata/globalrand/app", rules.GlobalRand)
+}
+
+func TestGlobalRandFlightReplay(t *testing.T) {
+	vettest.Run(t, "testdata/globalrand/flight", rules.GlobalRand)
 }
 
 func TestMapOrder(t *testing.T) {

@@ -1,0 +1,28 @@
+// Fixture: counterfactual replays must reproduce the recorded run exactly,
+// so sampling replay candidates from the process-global source (or a
+// time-seeded one) is banned; a generator seeded from run coordinates is the
+// allowed path.
+package flight
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func sampleCandidates(grid []int) []int {
+	out := make([]int, 0, 3)
+	for len(out) < 3 {
+		out = append(out, grid[randv2.IntN(len(grid))]) // want `process-global random source`
+	}
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] }) // want `process-global random source`
+	return out
+}
+
+func jitteredReplaySeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now`
+}
+
+func derivedReplaySeed(runSeed uint64, alloc int) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(runSeed, uint64(alloc)))
+}

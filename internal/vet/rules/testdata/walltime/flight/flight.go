@@ -1,0 +1,24 @@
+// Fixture: "flight" is a deterministic package — decision records and regret
+// reports must be a pure function of the run, so timestamping them from the
+// wall clock (the natural temptation for a flight recorder) is a violation.
+// Virtual tick times threaded through the record are the allowed path.
+package flight
+
+import "time"
+
+type tick struct {
+	at       time.Duration
+	recorded time.Time
+}
+
+func record(at time.Duration) tick {
+	t := tick{at: at}
+	t.recorded = time.Now()      // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	_ = time.Since(t.recorded)   // want `time.Since reads the wall clock`
+
+	// Deriving a tick's wall-free timestamp from virtual time is fine.
+	_ = at + time.Minute
+	_ = time.Duration(7).String()
+	return t
+}

@@ -8,7 +8,7 @@
 //	            [-flight-level none|decisions|counterfactual] [-flight DIR]
 //
 // -run selects a comma-separated subset of:
-// table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2,robustness
+// table1,fig1,table2,fig3,fig4,fig5,fig6,table3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,ext1,ext2,robustness,fleet
 // (fig4 and fig5 share one set of runs and always run together).
 package main
 
@@ -240,6 +240,14 @@ func main() {
 				}
 			}
 		}
+	}
+	if selected("fleet") {
+		step("Fleet: multi-job arbitration robustness grid")
+		fl, err := experiments.FleetRobustness(env)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fleet", fl.Render())
 	}
 	if selected("fig13") {
 		step("Figure 13: hysteresis sweep")

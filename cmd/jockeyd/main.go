@@ -1,0 +1,105 @@
+// Command jockeyd replays a deterministic multi-job fleet through the
+// arbiter (internal/fleet): it admits a stream of recurring SLO jobs, runs
+// one controller per job over a shared simulated cluster, and re-divides
+// the global token budget every control epoch.
+//
+// Usage:
+//
+//	jockeyd [-seed N] [-arbitration fifo|fair-share|utility-greedy]
+//	        [-guarded] [-no-containment]
+//	        [-arrivals N] [-mean-interarrival D] [-load F] [-max-defer N]
+//	        [-machines N] [-slots N] [-budget N] [-epoch D]
+//	        [-drift-every N] [-drift-factor F]
+//	        [-outage-at D] [-outage-machines N] [-outage-duration D]
+//	        [-parallelism N] [-v]
+//
+// The replay is bit-identical for a given flag set at any -parallelism.
+// -v streams one line per control epoch to stderr; the final per-job table
+// goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/cluster"
+	"github.com/jockeysim/jockey/internal/fleet"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "master seed for arrivals, cluster, and models")
+		arb     = flag.String("arbitration", "utility-greedy", "arbitration discipline: fifo, fair-share, or utility-greedy")
+		guarded = flag.Bool("guarded", false, "wrap each controller in a guard (requires utility-greedy)")
+		noCont  = flag.Bool("no-containment", false, "let guard-panic latches bid their full max allocation (requires -guarded)")
+
+		arrivals = flag.Int("arrivals", 0, "number of job offers (0 = default)")
+		meanIA   = flag.Duration("mean-interarrival", 0, "mean arrival gap before load scaling (0 = default)")
+		load     = flag.Float64("load", 0, "load factor multiplying the arrival rate (0 = default 1)")
+		maxDefer = flag.Int("max-defer", 0, "admission deferrals before an offer is rejected (0 = default)")
+
+		machines = flag.Int("machines", 0, "cluster machines (0 = default)")
+		slots    = flag.Int("slots", 0, "slots per machine (0 = default)")
+		budget   = flag.Int("budget", 0, "global token budget (0 = cluster capacity)")
+		epoch    = flag.Duration("epoch", 0, "control epoch period (0 = default 1m)")
+
+		driftEvery  = flag.Int("drift-every", 0, "every Nth offer drifts from its profile mid-run (0 = none)")
+		driftFactor = flag.Float64("drift-factor", 0, "service-time inflation for drifting jobs (0 = default 2)")
+
+		outageAt       = flag.Duration("outage-at", 0, "rack outage start (0 = no outage)")
+		outageMachines = flag.Int("outage-machines", 0, "machines lost to the outage")
+		outageDuration = flag.Duration("outage-duration", 0, "outage length")
+
+		par     = flag.Int("parallelism", 0, "worker pool for offline model builds (0 = GOMAXPROCS); results are identical at any value")
+		verbose = flag.Bool("v", false, "stream per-epoch arbitration stats to stderr")
+	)
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Seed:             *seed,
+		Machines:         *machines,
+		SlotsPerMachine:  *slots,
+		Budget:           *budget,
+		Epoch:            *epoch,
+		Arrivals:         *arrivals,
+		MeanInterarrival: *meanIA,
+		LoadFactor:       *load,
+		Arbitration:      fleet.Arbitration(*arb),
+		Guarded:          *guarded,
+		NoContainment:    *noCont,
+		MaxDefers:        *maxDefer,
+		DriftEvery:       *driftEvery,
+		DriftFactor:      *driftFactor,
+	}
+	if *outageAt > 0 || *outageMachines > 0 || *outageDuration > 0 {
+		cfg.RackOutages = []cluster.RackOutage{{
+			At:           *outageAt,
+			FirstMachine: 0,
+			Machines:     *outageMachines,
+			Duration:     *outageDuration,
+		}}
+	}
+	if *par > 0 {
+		// Same derived seed fleet.Run would use for its private cache, so
+		// -parallelism changes only the build speed, never the replay.
+		models := fleet.NewModelCache(stats.DeriveSeed(*seed, "fleet-models"))
+		models.SetParallelism(*par)
+		cfg.Models = models
+	}
+	if *verbose {
+		cfg.OnEpoch = func(s fleet.EpochStats) {
+			fmt.Fprintf(os.Stderr, "[%8s] active %2d granted %3d/%-3d deferred %d rejected %d latched %d\n",
+				s.At.Truncate(time.Second), s.Active, s.Granted, s.Budget, s.Deferred, s.Rejected, s.Latched)
+		}
+	}
+
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jockeyd:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+}

@@ -1,15 +1,19 @@
-// Admission: decide which SLO jobs fit before letting them run.
+// Admission: arbitrate a fleet of SLO jobs, not just a single fit check.
 //
 // Section 1 of the paper: "Jockey's job model can be used to check whether
 // a newly submitted job would 'fit' in the cluster – that is, that all
 // previously accepted SLO jobs would still be able to meet their deadlines
 // – before permitting it to run."
 //
-// This example reserves a 60-token budget for SLO work, then offers a
-// stream of jobs with deadlines of varying tightness. Each job's Jockey
-// model estimates the allocation it needs; the arbiter admits it only if
-// that fits in the uncommitted budget. Admitted jobs then run concurrently
-// under their own Jockey policies and must all meet their deadlines.
+// This example drives the fleet arbiter (the dynamic layer above that
+// static check): a deterministic stream of recurring SLO-job offers
+// arrives at 3× the sized rate while a rack outage takes 11 of 20 machines
+// for 20 minutes. The same offer stream is replayed twice — once under
+// FIFO admission, which freezes each job's worst-case reservation at
+// admission time, and once under guarded utility-greedy arbitration, which
+// re-divides the global token budget every control epoch by marginal
+// utility, defers offers that don't currently fit, and contains guard
+// panics so a single sick job cannot starve the fleet.
 //
 // Run with:
 //
@@ -24,101 +28,45 @@ import (
 	"github.com/jockeysim/jockey"
 )
 
-type offer struct {
-	name     string
-	tasks    int
-	taskMed  time.Duration
-	deadline time.Duration
-}
-
 func main() {
-	offers := []offer{
-		{"hourly-report", 200, 15 * time.Second, 20 * time.Minute},
-		{"index-refresh", 400, 20 * time.Second, 30 * time.Minute},
-		{"urgent-backfill", 300, 20 * time.Second, 12 * time.Minute}, // tight: needs many tokens
-		{"ads-rollup", 150, 10 * time.Second, 25 * time.Minute},
-		{"impossible", 100, 30 * time.Second, 20 * time.Second}, // below critical path
-	}
+	outage := []jockey.RackOutage{{
+		At:       12 * time.Minute,
+		Machines: 11,
+		Duration: 20 * time.Minute,
+	}}
 
-	arbiter, err := jockey.NewArbiter(60)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cl, err := jockey.NewCluster(jockey.ClusterConfig{
-		Machines:        25,
-		SlotsPerMachine: 4,
-		Seed:            3,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One shared model cache: every replay reuses the same per-shape
+	// C(p, a) models, exactly as recurring jobs would in production.
+	models := jockey.NewFleetModelCache(7)
 
-	type admitted struct {
-		name   string
-		handle *jockey.JobHandle
-	}
-	var running []admitted
-	for _, o := range offers {
-		job := jockey.NewJobBuilder(o.name).
-			Stage("map", o.tasks).
-			Stage("reduce", o.tasks/10).
-			Edge("map", "reduce", jockey.AllToAll).
-			MustBuild()
-		prof := jockey.MustNewProfile(job, []jockey.StageProfile{
-			{Exec: jockey.LognormalFromMedian(o.taskMed, 3*o.taskMed)},
-			{Exec: jockey.LognormalFromMedian(2*o.taskMed, 5*o.taskMed)},
-		})
-		jk, err := jockey.New(prof, jockey.Options{MaxTokens: 60, Seed: 11})
-		if err != nil {
-			log.Fatal(err)
-		}
-		need, ok, err := arbiter.TryAdmit(o.name, jk, o.deadline)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !ok {
-			reason := fmt.Sprintf("needs %d tokens, only %d uncommitted", need, arbiter.Available())
-			if need == 0 {
-				reason = "deadline below the job's critical path (infeasible at any allocation)"
-			}
-			fmt.Printf("REJECT %-16s deadline %-8v — %s\n", o.name, o.deadline, reason)
-			continue
-		}
-		fmt.Printf("ADMIT  %-16s deadline %-8v — committed %2d tokens (%d/%d in use)\n",
-			o.name, o.deadline, need, arbiter.Committed(), arbiter.Budget())
-		pol, err := jk.Policy(o.deadline)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h, err := cl.Submit(jockey.JobConfig{
-			Profile:  prof,
-			Policy:   pol,
-			Deadline: o.deadline,
-			Tracked:  true,
+	run := func(arb jockey.FleetArbitration, guarded bool) *jockey.FleetResult {
+		res, err := jockey.FleetRun(jockey.FleetConfig{
+			Seed:        42,
+			Arrivals:    12,
+			LoadFactor:  3,
+			Budget:      60,
+			Arbitration: arb,
+			Guarded:     guarded,
+			DriftEvery:  5,
+			RackOutages: outage,
+			Models:      models,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		running = append(running, admitted{o.name, h})
+		return res
 	}
 
-	if err := cl.Run(); err != nil {
-		log.Fatal(err)
-	}
+	fifo := run(jockey.FleetFIFO, false)
+	fmt.Print(fifo.Render())
 	fmt.Println()
-	allMet := true
-	for _, a := range running {
-		r := a.handle.Result()
-		fmt.Printf("%-16s finished in %-9v (%.0f%% of deadline) met=%v\n",
-			a.name, r.Completion.Round(time.Second),
-			100*float64(r.Completion)/float64(r.Deadline), r.Met)
-		if !r.Met {
-			allMet = false
-		}
-		arbiter.Release(a.name)
-	}
-	if allMet {
-		fmt.Println("\nevery admitted job met its SLO; budget fully released:",
-			arbiter.Available(), "tokens free")
-	}
+
+	guarded := run(jockey.FleetUtilityGreedy, true)
+	fmt.Print(guarded.Render())
+	fmt.Println()
+
+	fmt.Printf("same offers, same outage: fifo missed %d of %d (utility %+.2f); "+
+		"guarded utility-greedy missed %d (utility %+.2f)\n",
+		fifo.Missed, len(fifo.Jobs), fifo.AggUtility,
+		guarded.Missed, guarded.AggUtility)
 }

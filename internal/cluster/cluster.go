@@ -63,6 +63,15 @@ type Config struct {
 	// which jobs receive fewer tokens than their nominal guarantee —
 	// modelling over-subscription, where the promise is not honored.
 	Contention []ContentionWindow
+	// OnEpoch, if set, is invoked every EpochPeriod starting at time zero,
+	// before a scheduling pass. It is the hook a cluster-wide arbiter (the
+	// fleet layer) uses to admit jobs and re-set guarantees mid-run: the
+	// callback may call Submit and Handle.SetGuarantee; the epoch handler
+	// reschedules once afterwards. Returning false stops the epoch chain.
+	OnEpoch func(now time.Duration) bool
+	// EpochPeriod is the OnEpoch cadence (default 1 minute when OnEpoch is
+	// set; ignored otherwise).
+	EpochPeriod time.Duration
 }
 
 // RackOutage takes a contiguous range of machines down together at a fixed
@@ -145,6 +154,9 @@ func (c *Config) fill() error {
 		if w.Frac < 0 || w.Frac >= 1 {
 			return fmt.Errorf("cluster: contention window %d fraction %v out of [0, 1)", i, w.Frac)
 		}
+	}
+	if c.OnEpoch != nil && c.EpochPeriod <= 0 {
+		c.EpochPeriod = time.Minute
 	}
 	return nil
 }
@@ -274,6 +286,45 @@ func (h *Handle) Result() Result { return h.c.jobs[h.id].result }
 // Name returns the job's plan name.
 func (h *Handle) Name() string { return h.cfg.Profile.Job.Name }
 
+// SetGuarantee re-sets the job's guaranteed token count mid-run — the
+// actuation knob of an external arbiter (the fleet layer) that owns the
+// control loop itself instead of installing a per-job Policy. Allocation
+// accounting accrues at the old guarantee up to now. The new guarantee takes
+// effect at the next scheduling pass; Config.OnEpoch callbacks get one
+// automatically when the epoch handler returns.
+func (h *Handle) SetGuarantee(g int) {
+	h.c.jobs[h.id].setGuarantee(h.c.now, g)
+}
+
+// Guarantee returns the job's current guaranteed token count.
+func (h *Handle) Guarantee() int { return h.c.jobs[h.id].guarantee }
+
+// State returns the job's observable control state (elapsed time and
+// per-stage completion fractions) at the cluster's current time. Before the
+// job's arrival event has fired it returns the zero state: elapsed 0 and all
+// stage fractions 0, which is exactly the state the job is in at arrival.
+func (h *Handle) State() model.State {
+	jr := h.c.jobs[h.id]
+	if !jr.arrived {
+		return model.State{FracDone: make([]float64, jr.job.NumStages())}
+	}
+	return jr.state(h.c.now)
+}
+
+// Hold keeps Run from returning even when no tracked job is pending: Run
+// loops while tracked jobs or holds remain. An arbiter that admits jobs
+// mid-run (from Config.OnEpoch) holds the cluster before Run and releases
+// with Unhold once its arrival stream is drained; without the hold, Run
+// would return immediately when called before the first admission.
+func (c *Cluster) Hold() { c.holds++ }
+
+// Unhold releases one Hold.
+func (c *Cluster) Unhold() {
+	if c.holds > 0 {
+		c.holds--
+	}
+}
+
 // Cluster is the simulator instance. Create with New (one-shot) or via
 // Engine.Reset (reusable arenas), submit jobs, then Run.
 type Cluster struct {
@@ -286,6 +337,7 @@ type Cluster struct {
 	machines []machine
 	jobs     []*jobRun
 	tracked  int // tracked jobs not yet completed
+	holds    int // open Hold()s keeping Run alive (the fleet arbiter's latch)
 
 	utilSamples  []utilSample
 	lastUtilTime time.Duration
@@ -344,6 +396,7 @@ func (c *Cluster) init(cfg Config) error {
 	c.q.Reset()
 	c.now = 0
 	c.tracked = 0
+	c.holds = 0
 	c.jobs = c.jobs[:0] // arenas were recycled by Engine.Reset
 	c.utilSamples = c.utilSamples[:0]
 	c.lastUtilTime = 0
@@ -365,6 +418,12 @@ func (c *Cluster) init(cfg Config) error {
 		// guarantee changes; the window itself is evaluated from the clock.
 		c.q.Push(w.From, event{kind: evContention})
 		c.q.Push(w.To, event{kind: evContention})
+	}
+	if cfg.OnEpoch != nil {
+		// The first epoch fires at time zero, before any same-time arrival
+		// (insertion-order tie-break), so an arbiter sees the cluster from
+		// the very start.
+		c.q.Push(0, event{kind: evEpoch})
 	}
 	return nil
 }

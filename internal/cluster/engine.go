@@ -28,6 +28,7 @@ const (
 	evStageDrift
 	evRackOutage
 	evContention
+	evEpoch
 )
 
 type event struct {
@@ -42,14 +43,15 @@ type event struct {
 	change  int // index into DeadlineChanges, Drifts, or RackOutages
 }
 
-// Run processes events until every tracked job has completed (or the event
-// queue drains, or MaxSimTime is exceeded, which returns an error).
+// Run processes events until every tracked job has completed and every Hold
+// has been released (or the event queue drains, or MaxSimTime is exceeded,
+// which returns an error).
 func (c *Cluster) Run() error {
-	for c.tracked > 0 {
+	for c.tracked+c.holds > 0 {
 		at, ev, ok := c.q.Pop()
 		if !ok {
-			return fmt.Errorf("cluster: event queue drained with %d tracked jobs unfinished (%s)",
-				c.tracked, c.unfinishedTracked())
+			return fmt.Errorf("cluster: event queue drained with %d tracked jobs unfinished and %d holds open (%s)",
+				c.tracked, c.holds, c.unfinishedTracked())
 		}
 		if at > c.cfg.MaxSimTime {
 			return fmt.Errorf("cluster: exceeded max simulated time %v with %d tracked jobs unfinished (%s)",
@@ -80,9 +82,24 @@ func (c *Cluster) Run() error {
 			c.handleRackOutage(ev.change)
 		case evContention:
 			c.reschedule() // effective guarantees changed at this boundary
+		case evEpoch:
+			c.handleEpoch()
 		}
 	}
 	return nil
+}
+
+// handleEpoch runs the arbiter hook, keeps the epoch chain alive while the
+// hook asks for it, and performs the scheduling pass that puts any guarantee
+// changes (and same-time submissions) into effect.
+func (c *Cluster) handleEpoch() {
+	if c.cfg.OnEpoch == nil {
+		return
+	}
+	if c.cfg.OnEpoch(c.now) {
+		c.q.Push(c.now+c.cfg.EpochPeriod, event{kind: evEpoch})
+	}
+	c.reschedule()
 }
 
 // unfinishedTracked names the tracked jobs that have not completed, for

@@ -1,11 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrDuplicateAdmission reports a TryAdmit for a job id that is already
+// admitted and not yet released. Match with errors.Is.
+var ErrDuplicateAdmission = errors.New("job already admitted")
 
 // Arbiter implements the admission-control role sketched in §1 of the
 // paper: before an SLO job is allowed to run, its model is used to check
@@ -14,15 +19,16 @@ import (
 //
 // The arbiter tracks a budget of guaranteed tokens reserved for SLO jobs
 // (the cluster's total capacity minus headroom for non-SLO work). Each
-// admitted job commits its required allocation until released. The paper
-// leaves a *global utility-maximizing* arbiter as future work; this
-// implementation makes the same choice and simply rejects jobs that do not
-// fit.
+// admitted job commits its required allocation until released. This is the
+// static single-shot check; the fleet arbiter (internal/fleet) layers
+// utility-driven re-arbitration, deferral, and degradation on top of the
+// same fit test.
 type Arbiter struct {
 	budget int
 
-	mu       sync.Mutex
-	admitted map[string]int // job id -> committed tokens
+	mu        sync.Mutex
+	admitted  map[string]int // job id -> committed tokens
+	committed int            // running sum of admitted values
 }
 
 // NewArbiter creates an arbiter managing the given guaranteed-token budget.
@@ -40,22 +46,14 @@ func (a *Arbiter) Budget() int { return a.budget }
 func (a *Arbiter) Committed() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.committedLocked()
-}
-
-func (a *Arbiter) committedLocked() int {
-	total := 0
-	for _, n := range a.admitted {
-		total += n
-	}
-	return total
+	return a.committed
 }
 
 // Available returns the uncommitted budget.
 func (a *Arbiter) Available() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.budget - a.committedLocked()
+	return a.budget - a.committed
 }
 
 // TryAdmit checks whether the job (represented by its Jockey runtime) fits:
@@ -73,12 +71,13 @@ func (a *Arbiter) TryAdmit(id string, jk *Jockey, deadline time.Duration) (need 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if _, dup := a.admitted[id]; dup {
-		return 0, false, fmt.Errorf("core: job %q already admitted", id)
+		return 0, false, fmt.Errorf("core: job %q: %w", id, ErrDuplicateAdmission)
 	}
-	if need > a.budget-a.committedLocked() {
+	if need > a.budget-a.committed {
 		return need, false, nil
 	}
 	a.admitted[id] = need
+	a.committed += need
 	return need, true, nil
 }
 
@@ -86,7 +85,10 @@ func (a *Arbiter) TryAdmit(id string, jk *Jockey, deadline time.Duration) (need 
 func (a *Arbiter) Release(id string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	delete(a.admitted, id)
+	if need, ok := a.admitted[id]; ok {
+		a.committed -= need
+		delete(a.admitted, id)
+	}
 }
 
 // Admissions returns the currently admitted job ids, sorted.

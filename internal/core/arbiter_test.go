@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -66,8 +67,17 @@ func TestArbiterRejectsInfeasibleAndDuplicates(t *testing.T) {
 	if _, ok, err := a.TryAdmit("y", jk, 30*time.Minute); !ok || err != nil {
 		t.Fatalf("first admission failed: %v", err)
 	}
-	if _, _, err := a.TryAdmit("y", jk, 30*time.Minute); err == nil {
-		t.Error("duplicate id must error")
+	if _, _, err := a.TryAdmit("y", jk, 30*time.Minute); !errors.Is(err, ErrDuplicateAdmission) {
+		t.Errorf("duplicate id: err = %v, want ErrDuplicateAdmission", err)
+	}
+	// After release the id is admissible again, and the running committed
+	// total stays consistent through the churn.
+	a.Release("y")
+	if a.Committed() != 0 {
+		t.Errorf("committed = %d after full release, want 0", a.Committed())
+	}
+	if _, ok, err := a.TryAdmit("y", jk, 30*time.Minute); !ok || err != nil {
+		t.Fatalf("re-admission after release failed: ok=%v err=%v", ok, err)
 	}
 	if got := a.Admissions(); len(got) != 1 || got[0] != "y" {
 		t.Errorf("admissions = %v", got)

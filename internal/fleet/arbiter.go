@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"time"
+
+	"github.com/jockeysim/jockey/internal/control"
+	"github.com/jockeysim/jockey/internal/model"
+)
+
+// flatEps is the marginal-utility threshold below which an allocation step
+// is considered flat. Jobs whose whole curve is flat (already certain to
+// meet at the floor — the paper's "utility curve has gone flat") stay at
+// the floor and their tokens go to the rest of the fleet.
+const flatEps = 1e-9
+
+// arbitrate re-divides this epoch's effective budget across the active
+// jobs and actuates the new grants. It returns the granted total and the
+// number of latched (guard-panic) jobs, for the epoch observer.
+func (r *replay) arbitrate(now time.Duration) (granted, latched int) {
+	if len(r.active) == 0 {
+		return 0, 0
+	}
+	budget := r.effectiveBudget()
+	switch r.cfg.Arbitration {
+	case FIFO:
+		// The static baseline never revisits a grant: each job keeps its
+		// admission reservation, outage or not.
+		for _, fj := range r.active {
+			fj.wanted = fj.reservation
+			granted += fj.grant
+		}
+		return granted, 0
+	case FairShare:
+		r.fairShare(budget)
+	case UtilityGreedy:
+		latched = r.waterFill(now, budget)
+	}
+	for _, fj := range r.active {
+		fj.handle.SetGuarantee(fj.grant)
+		granted += fj.grant
+	}
+	return granted, latched
+}
+
+// fairShare hands each active job one token at a time in admission order
+// until the budget (or everyone's grid top) is exhausted — an exact equal
+// split with deterministic remainder placement, deadline-blind by design.
+func (r *replay) fairShare(budget int) {
+	cap := r.models.MaxTokens()
+	for _, fj := range r.active {
+		fj.grant = 0
+		// The baseline's notion of desire stays its reservation: the gap
+		// integration then charges misses to arbitration when fair-share
+		// starves a tight job below what admission promised it.
+		fj.wanted = fj.reservation
+	}
+	for budget > 0 {
+		gave := false
+		for _, fj := range r.active {
+			if budget == 0 {
+				break
+			}
+			if fj.grant >= cap {
+				continue
+			}
+			fj.grant++
+			budget--
+			gave = true
+		}
+		if !gave {
+			break
+		}
+	}
+}
+
+// waterFill is the headline discipline: greedy marginal-utility
+// water-filling over each job's model-estimated deadline utility.
+//
+// Latched (guard-panic) jobs are served first off the top: under
+// containment their panic grant is capped at the admission reservation —
+// the promise the arbiter actually made — so one sick job cannot starve
+// feasible peers; with NoContainment the latch bids the whole grid top.
+// Everyone else starts at the floor (the smallest grid allocation) and the
+// remaining budget goes, step by step, to the job whose next candidate
+// jump buys the most utility per token. Ties break in admission order.
+func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
+	remaining := budget
+	type bidder struct {
+		fj    *fleetJob
+		cands []int
+		util  []float64
+		idx   int // current rung in cands; -1 before the floor is granted
+	}
+	var bidders []*bidder
+	var latchedJobs []*fleetJob
+	for _, fj := range r.active {
+		st := fj.handle.State()
+		d := r.decide(fj, st)
+		if fj.guard != nil && fj.guard.Mode() == control.GuardPanic {
+			// Max-allocation latch: the model can no longer be trusted, so
+			// the guard bids its panic grant. Containment keeps the job's
+			// admission reservation — the promise the arbiter actually
+			// made — off the top, and lets the panic soak up only budget
+			// left over after every healthy peer is served. Without
+			// containment the full panic bid comes off the top first, and
+			// peers get whatever survives.
+			fj.latched = true
+			fj.wanted = d.Granted
+			if r.cfg.NoContainment {
+				fj.grant = min(d.Granted, remaining)
+			} else {
+				fj.grant = min(fj.reservation, remaining)
+				latchedJobs = append(latchedJobs, fj)
+			}
+			remaining -= fj.grant
+			latched++
+			continue
+		}
+		fj.latched = false
+		cands := fj.jk.Grid()
+		util := make([]float64, len(cands))
+		for i, a := range cands {
+			util[i] = float64(fj.arr.value) * fj.util.Utility(fj.ctrl.PredictAt(st, a))
+		}
+		// The unconstrained desire is the smallest candidate that attains
+		// the curve's maximum — what the job's own controller would ask
+		// for with no fleet around it.
+		best := 0
+		for i := 1; i < len(util); i++ {
+			if util[i] > util[best]+flatEps {
+				best = i
+			}
+		}
+		fj.wanted = cands[best]
+		fj.grant = 0
+		bidders = append(bidders, &bidder{fj: fj, cands: cands, util: util, idx: -1})
+	}
+
+	// Floor pass: every non-latched job gets the smallest grid allocation
+	// (admission order) so nobody is silently starved to zero.
+	for _, b := range bidders {
+		floor := b.cands[0]
+		if floor > remaining {
+			break
+		}
+		b.idx = 0
+		b.fj.grant = floor
+		remaining -= floor
+	}
+
+	// Greedy marginal water-fill. Each round picks the single affordable
+	// jump (to ANY higher candidate, which handles non-concave curves
+	// whose gain sits past a flat stretch) with the best utility-per-token
+	// rate; earliest-admitted wins ties. Flat jobs never clear flatEps and
+	// stay at the floor.
+	for remaining > 0 {
+		var pick *bidder
+		pickTo, pickRate := 0, 0.0
+		for _, b := range bidders {
+			if b.idx < 0 {
+				continue
+			}
+			for k := b.idx + 1; k < len(b.cands); k++ {
+				cost := b.cands[k] - b.cands[b.idx]
+				if cost > remaining {
+					break
+				}
+				rate := (b.util[k] - b.util[b.idx]) / float64(cost)
+				if rate > flatEps && rate > pickRate+flatEps {
+					pick, pickTo, pickRate = b, k, rate
+				}
+			}
+		}
+		if pick == nil {
+			break
+		}
+		remaining -= pick.cands[pickTo] - pick.cands[pick.idx]
+		pick.idx = pickTo
+		pick.fj.grant = pick.cands[pickTo]
+	}
+
+	// Leftover pass: budget nobody's curve wanted tops up contained
+	// panic latches (admission order) toward their full bid — the sick
+	// job gets every idle token, just never a healthy peer's.
+	for _, fj := range latchedJobs {
+		if remaining <= 0 {
+			break
+		}
+		if extra := min(fj.wanted-fj.grant, remaining); extra > 0 {
+			fj.grant += extra
+			remaining -= extra
+		}
+	}
+	return latched
+}
+
+// decide runs the job's control stack for this epoch. For guarded jobs this
+// is what feeds the staleness detector and drives panic entry/recovery; the
+// returned decision's grant is only used by the panic latch (water-filling
+// overrides it otherwise).
+func (r *replay) decide(fj *fleetJob, st model.State) control.Decision {
+	if fj.guard != nil {
+		return fj.guard.Decide(st)
+	}
+	// Unguarded utility-greedy probes the model directly via PredictAt;
+	// running the plain controller's hysteresis would be dead state.
+	return control.Decision{}
+}

@@ -1,0 +1,59 @@
+package utility
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzUtilityParse checks that arbitrary specifications never panic the
+// parser and that every accepted curve is well formed: strictly increasing
+// vertex times and finite utility everywhere (ParseFloat would happily
+// admit NaN/Inf, which would poison expected-utility comparisons).
+func FuzzUtilityParse(f *testing.F) {
+	f.Add("deadline 60m")
+	f.Add("soft 60m grace 30m")
+	f.Add("0:1, 60m:1, 70m:-1, 1060m:-1000")
+	f.Add("0:1,1s:0.5")
+	f.Add("deadline -5m")
+	f.Add("soft 1h grace")
+	f.Add("0:NaN, 1m:1")
+	f.Add("0:+Inf, 1m:1")
+	f.Add("1m:1e308, 2m:-1e308")
+	f.Add(" 10:20 ")
+	f.Add("::::")
+	f.Add("9999999999999h:1, 0:0")
+	f.Fuzz(func(t *testing.T, s string) {
+		pl, err := Parse(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "utility:") {
+				t.Errorf("error missing package prefix: %v", err)
+			}
+			return
+		}
+		ps := pl.Points()
+		if len(ps) < 2 {
+			t.Fatalf("accepted curve has %d points: %q", len(ps), s)
+		}
+		for i, p := range ps {
+			if i > 0 && ps[i-1].T >= p.T {
+				t.Errorf("points not strictly increasing at %d: %v", i, ps)
+			}
+			if math.IsNaN(p.U) || math.IsInf(p.U, 0) {
+				t.Errorf("accepted curve has non-finite vertex %v from %q", p, s)
+			}
+		}
+		for _, probe := range []time.Duration{
+			0, ps[0].T, ps[len(ps)-1].T, ps[len(ps)-1].T + time.Hour,
+			(ps[0].T + ps[len(ps)-1].T) / 2,
+		} {
+			if u := pl.Utility(probe); math.IsNaN(u) || math.IsInf(u, 0) {
+				t.Errorf("Utility(%v) = %v (non-finite) for %q", probe, u, s)
+			}
+		}
+		if pl.String() == "" {
+			t.Errorf("accepted curve renders empty for %q", s)
+		}
+	})
+}

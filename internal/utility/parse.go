@@ -2,6 +2,7 @@ package utility
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -82,6 +83,11 @@ func Parse(s string) (*PiecewiseLinear, error) {
 		u, err := strconv.ParseFloat(strings.TrimSpace(part[i+1:]), 64)
 		if err != nil {
 			return nil, fmt.Errorf("utility: bad value in %q: %v", part, err)
+		}
+		// ParseFloat accepts "NaN" and "±Inf"; a curve holding either would
+		// poison every expected-utility comparison downstream.
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return nil, fmt.Errorf("utility: non-finite value in %q", part)
 		}
 		points = append(points, Point{T: t, U: u})
 	}

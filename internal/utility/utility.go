@@ -91,7 +91,9 @@ func (pl *PiecewiseLinear) Utility(t time.Duration) float64 {
 	i := sort.Search(len(ps), func(i int) bool { return ps[i].T > t }) - 1
 	a, b := ps[i], ps[i+1]
 	frac := float64(t-a.T) / float64(b.T-a.T)
-	return a.U + frac*(b.U-a.U)
+	// Convex combination rather than a.U + frac*(b.U-a.U): the difference
+	// form overflows to ±Inf when the endpoints are near ±MaxFloat64.
+	return a.U*(1-frac) + b.U*frac
 }
 
 // ShiftEarlier returns a copy of the curve moved earlier in time by delta:

@@ -30,6 +30,7 @@ var DeterministicPackages = map[string]bool{
 	"workload": true,
 	"grid":     true,
 	"flight":   true,
+	"fleet":    true,
 }
 
 // All returns the full suite in rule-table order.

@@ -23,12 +23,20 @@ func TestWalltimeFlightRecorder(t *testing.T) {
 	vettest.Run(t, "testdata/walltime/flight", rules.Walltime)
 }
 
+func TestWalltimeFleetArbiter(t *testing.T) {
+	vettest.Run(t, "testdata/walltime/fleet", rules.Walltime)
+}
+
 func TestGlobalRand(t *testing.T) {
 	vettest.Run(t, "testdata/globalrand/app", rules.GlobalRand)
 }
 
 func TestGlobalRandFlightReplay(t *testing.T) {
 	vettest.Run(t, "testdata/globalrand/flight", rules.GlobalRand)
+}
+
+func TestGlobalRandFleetArrivals(t *testing.T) {
+	vettest.Run(t, "testdata/globalrand/fleet", rules.GlobalRand)
 }
 
 func TestMapOrder(t *testing.T) {

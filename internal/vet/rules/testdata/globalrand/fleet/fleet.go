@@ -1,0 +1,29 @@
+// Fixture: the fleet's arrival stream and any arbitration tie-jitter must
+// replay bit-identically, so the process-global random source (or a
+// time-seeded one) is banned; generators derived from the replay seed are
+// the allowed path.
+package fleet
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func drawArrivalGap(mean float64) float64 {
+	return randv2.ExpFloat64() * mean // want `process-global random source`
+}
+
+func shuffleOffers(offers []int) {
+	rand.Shuffle(len(offers), func(i, j int) { // want `process-global random source`
+		offers[i], offers[j] = offers[j], offers[i]
+	})
+}
+
+func jitteredBackoff() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now`
+}
+
+func derivedArrivals(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, 0))
+}

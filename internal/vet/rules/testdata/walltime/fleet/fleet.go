@@ -1,0 +1,27 @@
+// Fixture: "fleet" is a deterministic package — a multi-job replay must be
+// a pure function of its seed, so stamping admissions or epoch stats from
+// the wall clock (tempting for anything that looks like a daemon) is a
+// violation. The cluster's virtual `now`, threaded through the epoch hook,
+// is the allowed path.
+package fleet
+
+import "time"
+
+type admission struct {
+	at      time.Duration
+	stamped time.Time
+}
+
+func admit(now time.Duration) admission {
+	a := admission{at: now}
+	a.stamped = time.Now()    // want `time.Now reads the wall clock`
+	_ = time.Since(a.stamped) // want `time.Since reads the wall clock`
+
+	deadline := now + 30*time.Minute // virtual-time arithmetic is fine
+	_ = deadline
+	return a
+}
+
+func backoffWait(epoch time.Duration) {
+	time.Sleep(epoch) // want `time.Sleep reads the wall clock`
+}

@@ -122,6 +122,22 @@ func (p *BackgroundPool) SubmitBackground(c *cluster.Cluster, cfg BackgroundConf
 	return submitBackground(c, cfg, p)
 }
 
+// Shape returns the pooled canonical profile for one background job shape:
+// `tasks` map tasks, optionally followed by an all-to-all reduce stage
+// (barrier), with cfg's task-duration distribution. The profile carries the
+// canonical shape-derived name ("bg-N" / "bgb-N") and a stable plan pointer,
+// so repeated calls share one *dag.Job and cluster engines can pool arenas
+// for it. The fleet arbiter draws its SLO-job shapes from here.
+func (p *BackgroundPool) Shape(cfg BackgroundConfig, tasks int, barrier bool) (*profile.Profile, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if tasks < 1 {
+		return nil, fmt.Errorf("workload: shape needs at least one task, got %d", tasks)
+	}
+	return p.profileFor(&cfg, tasks, barrier)
+}
+
 // profileFor returns the pooled profile for a job shape, building and
 // caching it on first use.
 func (p *BackgroundPool) profileFor(cfg *BackgroundConfig, tasks int, barrier bool) (*profile.Profile, error) {

@@ -60,6 +60,7 @@ import (
 	"github.com/jockeysim/jockey/internal/control"
 	"github.com/jockeysim/jockey/internal/core"
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/fleet"
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/profile"
 	"github.com/jockeysim/jockey/internal/progress"
@@ -314,6 +315,46 @@ type Arbiter = core.Arbiter
 // NewArbiter creates an admission-control arbiter over a guaranteed-token
 // budget.
 func NewArbiter(budget int) (*Arbiter, error) { return core.NewArbiter(budget) }
+
+// ErrDuplicateAdmission reports an Arbiter.TryAdmit for a job id that is
+// already admitted and not yet released. Match with errors.Is.
+var ErrDuplicateAdmission = core.ErrDuplicateAdmission
+
+// Fleet arbitration: the dynamic multi-job layer above the static Arbiter.
+// FleetRun replays a deterministic stream of recurring SLO-job offers
+// through admission, per-epoch utility-driven re-arbitration of the global
+// token budget, and graceful degradation (deferral, rejection, guard-panic
+// containment) under overload or faults.
+type (
+	// FleetConfig configures one fleet replay.
+	FleetConfig = fleet.Config
+	// FleetArbitration selects the arbitration discipline.
+	FleetArbitration = fleet.Arbitration
+	// FleetResult is the replay outcome with per-job records.
+	FleetResult = fleet.Result
+	// FleetJobRecord is one offer's full admission/arbitration history.
+	FleetJobRecord = fleet.JobRecord
+	// FleetEpochStats is the per-epoch observer payload.
+	FleetEpochStats = fleet.EpochStats
+	// FleetModelCache shares per-shape profiles and C(p, a) models across
+	// jobs and replays.
+	FleetModelCache = fleet.ModelCache
+)
+
+// Fleet arbitration disciplines.
+const (
+	FleetFIFO          = fleet.FIFO
+	FleetFairShare     = fleet.FairShare
+	FleetUtilityGreedy = fleet.UtilityGreedy
+)
+
+// FleetRun executes one deterministic fleet replay.
+func FleetRun(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+// NewFleetModelCache creates a shareable model cache for fleet replays. The
+// cache is safe for concurrent use and its models depend only on the seed
+// and job shape, never on warm-up order.
+func NewFleetModelCache(seed uint64) *FleetModelCache { return fleet.NewModelCache(seed) }
 
 // OnlineSimPredictor is the §4.4 enhancement: instead of indexing
 // precomputed C(p, a) tables through a progress indicator, it re-runs the

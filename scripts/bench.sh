@@ -16,6 +16,9 @@
 #   iteration already replays dozens of cluster simulations):
 #     internal/cluster:     BenchmarkEngineFresh/Reuse (arena reuse win)
 #     internal/experiments: BenchmarkGridSerial/Parallel (robustness grid)
+#   fleet — fleet-arbiter benchmarks (one full multi-job replay per
+#   iteration, models and engine warmed outside the timed loop):
+#     internal/fleet: BenchmarkFleetReplay
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,8 +43,11 @@ grid)
   run ./internal/cluster 'BenchmarkEngine' "${BENCHTIME:-1x}"
   run ./internal/experiments 'BenchmarkGrid' "${BENCHTIME:-1x}"
   ;;
+fleet)
+  run ./internal/fleet 'BenchmarkFleet' "${BENCHTIME:-5x}"
+  ;;
 *)
-  echo "bench.sh: unknown suite '$SUITE' (want simcore or grid)" >&2
+  echo "bench.sh: unknown suite '$SUITE' (want simcore, grid or fleet)" >&2
   exit 2
   ;;
 esac

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -19,12 +20,14 @@ func buildTool(t *testing.T) string {
 	return tool
 }
 
-// writeModule lays out a throwaway module so `go vet -vettool` runs the
-// full unit protocol against controlled sources.
+// writeModule lays out a throwaway module so `go vet -vettool` runs the full
+// unit protocol against controlled sources. The module reuses the real module
+// path: the package-scoped rules match full import paths, so a fixture must
+// live at github.com/jockeysim/jockey/internal/... to be bound by them.
 func writeModule(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
-	files["go.mod"] = "module tmpvet\n\ngo 1.22\n"
+	files["go.mod"] = "module github.com/jockeysim/jockey\n\ngo 1.22\n"
 	for name, src := range files {
 		path := filepath.Join(dir, name)
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -52,10 +55,30 @@ func govet(t *testing.T, tool, dir string) (string, int) {
 	return string(out), ee.ExitCode()
 }
 
+// runTool invokes the built jockeyvet binary directly (standalone mode).
+func runTool(t *testing.T, tool, dir string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(tool, args...)
+	cmd.Dir = dir
+	var outBuf, errBuf strings.Builder
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v\n%s%s", tool, err, outBuf.String(), errBuf.String())
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
 func TestVettoolReportsViolations(t *testing.T) {
 	tool := buildTool(t)
 	dir := writeModule(t, map[string]string{
-		"sim/sim.go": `package sim
+		"internal/sim/sim.go": `package sim
 
 import "time"
 
@@ -74,7 +97,7 @@ func Step() time.Time { return time.Now() }
 func TestVettoolHonorsIgnoreDirective(t *testing.T) {
 	tool := buildTool(t)
 	dir := writeModule(t, map[string]string{
-		"sim/sim.go": `package sim
+		"internal/sim/sim.go": `package sim
 
 import "time"
 
@@ -86,6 +109,170 @@ func Step() time.Time {
 	out, code := govet(t, tool, dir)
 	if code != 0 {
 		t.Fatalf("go vet exited %d despite a reasoned ignore:\n%s", code, out)
+	}
+}
+
+// TestVettoolDeterministicPackagesMatchFullPaths: a package merely named
+// "sim" under someone else's import path is outside the determinism
+// contract, so wall-clock reads there are fine.
+func TestVettoolDeterministicPackagesMatchFullPaths(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"vendorish/sim/sim.go": `package sim
+
+import "time"
+
+func Step() time.Time { return time.Now() }
+`,
+	})
+	out, code := govet(t, tool, dir)
+	if code != 0 {
+		t.Fatalf("go vet exited %d on a lookalike package outside internal/:\n%s", code, out)
+	}
+}
+
+// TestVettoolCrossPackageFacts drives the whole fact pipeline through the
+// real go command: seedflow records in internal/seedhelp's vetx side file
+// that Gen consumes a seed at parameter 0, and the internal/sim unit —
+// a separate tool invocation — imports that fact and flags the literal.
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/seedhelp/seedhelp.go": `package seedhelp
+
+import "math/rand/v2"
+
+// Gen builds a deterministic generator from a derived seed.
+func Gen(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+`,
+		"internal/sim/sim.go": `package sim
+
+import "github.com/jockeysim/jockey/internal/seedhelp"
+
+func Boot() {
+	_ = seedhelp.Gen(7)
+}
+`,
+	})
+	out, code := govet(t, tool, dir)
+	if code == 0 {
+		t.Fatalf("go vet exited 0 on a literal seed crossing a package boundary:\n%s", out)
+	}
+	if !strings.Contains(out, "seed reaching Gen is a literal/constant") {
+		t.Fatalf("missing cross-package seedflow diagnostic:\n%s", out)
+	}
+}
+
+// TestVettoolHotpathViolation: an annotated function with an allocating
+// construct is caught through the full vettool protocol.
+func TestVettoolHotpathViolation(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/hot.go": `package sim
+
+//jockey:hotpath
+func Accumulate(vals []int) []int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+	})
+	out, code := govet(t, tool, dir)
+	if code == 0 {
+		t.Fatalf("go vet exited 0 on a hotpath allocation:\n%s", out)
+	}
+	if !strings.Contains(out, "//jockey:hotpath function Accumulate") || !strings.Contains(out, "make allocates") {
+		t.Fatalf("missing hotalloc diagnostic:\n%s", out)
+	}
+}
+
+// TestVettoolJSONOutput checks the standalone -json aggregate: version-1
+// schema on stdout, problem-matcher lines on stderr, exit 2 on findings.
+func TestVettoolJSONOutput(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+import "time"
+
+func Step() time.Time { return time.Now() }
+`,
+	})
+	stdout, stderr, code := runTool(t, tool, dir, "-json", "./...")
+	if code != 2 {
+		t.Fatalf("jockeyvet -json exited %d, want 2:\n%s%s", code, stdout, stderr)
+	}
+	if err := validateReport([]byte(stdout)); err != nil {
+		t.Fatalf("report fails schema validation: %v\n%s", err, stdout)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%s", len(rep.Diagnostics), stdout)
+	}
+	d := rep.Diagnostics[0]
+	if d.Analyzer != "walltime" || d.File != filepath.Join("internal", "sim", "sim.go") || d.Line != 5 {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+	wantLine := "internal/sim/sim.go:5:32: [walltime] time.Now reads the wall clock"
+	if !strings.Contains(stderr, wantLine) {
+		t.Fatalf("stderr missing problem-matcher line %q:\n%s", wantLine, stderr)
+	}
+}
+
+// TestVettoolJSONCleanTree: a clean package yields exit 0 and an empty (but
+// schema-valid) diagnostics list.
+func TestVettoolJSONCleanTree(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+func Step() int { return 1 }
+`,
+	})
+	stdout, stderr, code := runTool(t, tool, dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("jockeyvet -json exited %d on a clean tree:\n%s%s", code, stdout, stderr)
+	}
+	if err := validateReport([]byte(stdout)); err != nil {
+		t.Fatalf("clean report fails schema validation: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, `"diagnostics": []`) {
+		t.Fatalf("clean report should carry an explicit empty diagnostics list:\n%s", stdout)
+	}
+}
+
+// TestVettoolEmptyPatternFails: a pattern that matches no packages must be a
+// loud failure, not a silent no-op pass — a CI typo cannot disable the gate.
+func TestVettoolEmptyPatternFails(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `package sim
+
+func Step() int { return 1 }
+`,
+	})
+	if err := os.MkdirAll(filepath.Join(dir, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runTool(t, tool, dir, "./empty/...")
+	if code == 0 {
+		t.Fatalf("jockeyvet exited 0 on a pattern matching no packages:\n%s%s", stdout, stderr)
+	}
+	if !strings.Contains(stderr, "matched no packages") {
+		t.Fatalf("missing matched-no-packages message:\n%s%s", stdout, stderr)
+	}
+	// The -json path takes the same guard.
+	stdout, stderr, code = runTool(t, tool, dir, "-json", "./empty/...")
+	if code == 0 || !strings.Contains(stderr, "matched no packages") {
+		t.Fatalf("-json mode exited %d without the matched-no-packages message:\n%s%s", code, stdout, stderr)
 	}
 }
 

@@ -719,8 +719,10 @@ func (jr *jobRun) state(now time.Duration) model.State {
 	return model.State{Elapsed: now - jr.start, FracDone: jr.fracDone()}
 }
 
+//jockey:hotpath
 func (jr *jobRun) readyLen() int { return len(jr.ready) - jr.readyHead }
 
+//jockey:hotpath
 func (jr *jobRun) popReady() (taskRef, bool) {
 	if jr.readyHead >= len(jr.ready) {
 		return taskRef{}, false
@@ -734,12 +736,15 @@ func (jr *jobRun) popReady() (taskRef, bool) {
 	return r, true
 }
 
+//jockey:hotpath
 func (jr *jobRun) markReady(now time.Duration, stage, task int) {
 	jr.queuedAt[stage][task] = now
 	jr.ready = append(jr.ready, taskRef{stage, task})
 }
 
 // guaranteedRunning counts running tasks charged to guaranteed tokens.
+//
+//jockey:hotpath
 func (jr *jobRun) guaranteedRunning() int {
 	n := 0
 	for _, rt := range jr.running {
@@ -758,6 +763,7 @@ func (jr *jobRun) setGuarantee(now time.Duration, g int) {
 	jr.guarantee = g
 }
 
+//jockey:hotpath
 func (jr *jobRun) accrueAlloc(now time.Duration) {
 	if !jr.arrived || jr.completed {
 		return

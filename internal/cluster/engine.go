@@ -117,6 +117,7 @@ func (c *Cluster) unfinishedTracked() string {
 	return names
 }
 
+//jockey:hotpath
 func (c *Cluster) accrueUtil(now time.Duration) {
 	dt := now - c.lastUtilTime
 	if dt <= 0 {
@@ -179,6 +180,7 @@ func (c *Cluster) handleArrival(id int) {
 // when the event queue goes quiet).
 const specTickPeriod = 15 * time.Second
 
+//jockey:hotpath
 func (c *Cluster) handleSpecTick(id int) {
 	jr := c.jobs[id]
 	// Stop the tick chain the moment the job can no longer speculate: a
@@ -201,6 +203,8 @@ func (c *Cluster) handleStageDrift(ev event) {
 // applyDrift folds one StageDrift into the job's runtime factors.
 // Already-running attempts keep their sampled durations; only attempts
 // dispatched from now on see the drift.
+//
+//jockey:hotpath
 func (c *Cluster) applyDrift(jr *jobRun, idx int) {
 	d := jr.cfg.Drifts[idx]
 	if d.Stage < 0 {
@@ -231,6 +235,8 @@ func (c *Cluster) handleRackOutage(idx int) {
 
 // contentionFrac returns the guarantee-scaling factor in force now (1 when
 // no contention window is open; overlapping windows take the tightest).
+//
+//jockey:hotpath
 func (c *Cluster) contentionFrac() float64 {
 	f := 1.0
 	for _, w := range c.cfg.Contention {
@@ -245,6 +251,8 @@ func (c *Cluster) contentionFrac() float64 {
 // actually honors for the job right now. Allocation accounting still charges
 // the nominal guarantee: during contention the job pays for a promise the
 // cluster breaks.
+//
+//jockey:hotpath
 func (c *Cluster) effectiveGuarantee(jr *jobRun) int {
 	f := c.contentionFrac()
 	if f >= 1 {
@@ -659,6 +667,8 @@ func (c *Cluster) reclassify() {
 // position. Within one job a primary and its duplicate cannot share a start
 // time (speculation requires elapsed progress), so the order has no ties and
 // an unstable sort is deterministic.
+//
+//jockey:hotpath
 func cmpTask(a, b *runningTask) int {
 	if a.startedAt != b.startedAt {
 		return cmp.Compare(a.startedAt, b.startedAt)
@@ -669,6 +679,7 @@ func cmpTask(a, b *runningTask) int {
 	return a.task - b.task
 }
 
+//jockey:hotpath
 func lessTask(a, b *runningTask) bool { return cmpTask(a, b) < 0 }
 
 // guaranteedOrder returns jobs with tracked (SLO) jobs first, then arrival
@@ -920,6 +931,8 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 
 // driftExec applies the stage's current runtime-drift factor to a sampled
 // service time.
+//
+//jockey:hotpath
 func (jr *jobRun) driftExec(stage int, exec time.Duration) time.Duration {
 	if f := jr.driftFactor[stage]; f != 1 {
 		exec = time.Duration(float64(exec) * f)

@@ -76,6 +76,8 @@ func (e *Engine) recycle(jr *jobRun) {
 
 // takeArena pops a pooled arena for the plan, or returns nil when none is
 // free (the same plan can be live several times in one run).
+//
+//jockey:hotpath
 func (e *Engine) takeArena(job *dag.Job) *jobRun {
 	s := e.arenas[job]
 	if len(s) == 0 {
@@ -88,6 +90,8 @@ func (e *Engine) takeArena(job *dag.Job) *jobRun {
 
 // newRunningTask hands out a running-task record, from the engine free list
 // when one is available. The caller overwrites every field.
+//
+//jockey:hotpath
 func (c *Cluster) newRunningTask() *runningTask {
 	if c.eng != nil {
 		if n := len(c.eng.freeRT); n > 0 {
@@ -96,12 +100,14 @@ func (c *Cluster) newRunningTask() *runningTask {
 			return rt
 		}
 	}
-	return &runningTask{}
+	return &runningTask{} //jockeyvet:ignore hotalloc free-list miss: one record per concurrent task, then steady-state reuse
 }
 
 // freeRunningTask releases a record after it has been removed from its
 // running/dups map and is no longer referenced. Each record is freed at
 // exactly one site: the event handler that removed it.
+//
+//jockey:hotpath
 func (c *Cluster) freeRunningTask(rt *runningTask) {
 	if c.eng != nil {
 		c.eng.freeRT = append(c.eng.freeRT, rt)

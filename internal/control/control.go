@@ -203,6 +203,8 @@ func utilityKnee(u utility.Fn) time.Duration {
 // rawAllocation returns the minimum candidate allocation maximizing expected
 // utility under the dead-zone-shifted curve:
 // A^r = argmin_a { a : U_a = max_b U_b }.
+//
+//jockey:hotpath
 func (c *Controller) rawAllocation(st model.State) int {
 	if c.rec != nil {
 		return c.rawAllocationRecorded(st)
@@ -219,6 +221,8 @@ func (c *Controller) rawAllocation(st model.State) int {
 }
 
 // Decide implements Policy.
+//
+//jockey:hotpath
 func (c *Controller) Decide(st model.State) Decision {
 	raw := c.rawAllocation(st)
 	if !c.started {
@@ -288,11 +292,13 @@ func (c *Controller) PredictAt(st model.State, a int) time.Duration {
 	return c.predictAt(st, a)
 }
 
+//jockey:hotpath
 func (c *Controller) predictAt(st model.State, a int) time.Duration {
 	rem := c.cfg.Predictor.Remaining(st, a, c.cfg.PredictQuantile)
 	return st.Elapsed + time.Duration(float64(rem)*c.cfg.Slack)
 }
 
+//jockey:hotpath
 func (c *Controller) decision(st model.State, raw int) Decision {
 	d := Decision{
 		Raw:       raw,

@@ -89,6 +89,8 @@ func (c *Controller) SetRecorder(rec Recorder) { c.rec = rec }
 // rawAllocationRecorded is rawAllocation with per-candidate capture: same
 // argmax, but every candidate's utility and predicted completion are staged
 // into the controller's scratch buffer for the recorder.
+//
+//jockey:hotpath
 func (c *Controller) rawAllocationRecorded(st model.State) int {
 	c.cands = c.cands[:0]
 	best := -1
@@ -106,6 +108,8 @@ func (c *Controller) rawAllocationRecorded(st model.State) int {
 // emit finalizes a decision and, when a recorder is installed, publishes the
 // tick's DecisionRecord. The record and its candidate slice are scratch
 // state reused across ticks.
+//
+//jockey:hotpath
 func (c *Controller) emit(st model.State, raw int, mech string) Decision {
 	d := c.decision(st, raw)
 	if c.rec != nil {

@@ -34,6 +34,8 @@ type Queue[T any] struct {
 // less orders the heap by (time, insertion sequence). seq values are unique,
 // so this is a strict total order and pop order does not depend on sift
 // internals.
+//
+//jockey:hotpath
 func (q *Queue[T]) less(i, j int) bool {
 	if q.h[i].at != q.h[j].at {
 		return q.h[i].at < q.h[j].at
@@ -43,6 +45,8 @@ func (q *Queue[T]) less(i, j int) bool {
 
 // Push schedules v at the given time. Steady-state pushes (within the
 // queue's high-water capacity) do not allocate.
+//
+//jockey:hotpath
 func (q *Queue[T]) Push(at time.Duration, v T) {
 	q.seq++
 	q.h = append(q.h, item[T]{at: at, seq: q.seq, v: v})
@@ -51,6 +55,8 @@ func (q *Queue[T]) Push(at time.Duration, v T) {
 
 // Pop removes and returns the earliest event. ok is false if the queue is
 // empty. Pop never allocates.
+//
+//jockey:hotpath
 func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
 	if len(q.h) == 0 {
 		var zero T
@@ -68,6 +74,8 @@ func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
 }
 
 // Peek returns the earliest event time without removing it.
+//
+//jockey:hotpath
 func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
 	if len(q.h) == 0 {
 		return 0, false
@@ -76,6 +84,8 @@ func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
 }
 
 // Len returns the number of queued events.
+//
+//jockey:hotpath
 func (q *Queue[T]) Len() int { return len(q.h) }
 
 // Reset empties the queue in place, keeping the backing array so a reused
@@ -83,6 +93,8 @@ func (q *Queue[T]) Len() int { return len(q.h) }
 // high-water capacity once and never allocates again. The insertion
 // sequence restarts at zero, so a Reset queue behaves bit-identically to a
 // fresh one.
+//
+//jockey:hotpath
 func (q *Queue[T]) Reset() {
 	clear(q.h) // drop references held by T
 	q.h = q.h[:0]
@@ -90,6 +102,8 @@ func (q *Queue[T]) Reset() {
 }
 
 // up restores the heap property from index i toward the root.
+//
+//jockey:hotpath
 func (q *Queue[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -102,6 +116,8 @@ func (q *Queue[T]) up(i int) {
 }
 
 // down restores the heap property from index i toward the leaves.
+//
+//jockey:hotpath
 func (q *Queue[T]) down(i int) {
 	n := len(q.h)
 	for {

@@ -16,6 +16,8 @@ const flatEps = 1e-9
 // arbitrate re-divides this epoch's effective budget across the active
 // jobs and actuates the new grants. It returns the granted total and the
 // number of latched (guard-panic) jobs, for the epoch observer.
+//
+//jockey:hotpath
 func (r *replay) arbitrate(now time.Duration) (granted, latched int) {
 	if len(r.active) == 0 {
 		return 0, 0
@@ -45,6 +47,8 @@ func (r *replay) arbitrate(now time.Duration) (granted, latched int) {
 // fairShare hands each active job one token at a time in admission order
 // until the budget (or everyone's grid top) is exhausted — an exact equal
 // split with deterministic remainder placement, deadline-blind by design.
+//
+//jockey:hotpath
 func (r *replay) fairShare(budget int) {
 	cap := r.models.MaxTokens()
 	for _, fj := range r.active {
@@ -198,6 +202,8 @@ func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
 // is what feeds the staleness detector and drives panic entry/recovery; the
 // returned decision's grant is only used by the panic latch (water-filling
 // overrides it otherwise).
+//
+//jockey:hotpath
 func (r *replay) decide(fj *fleetJob, st model.State) control.Decision {
 	if fj.guard != nil {
 		return fj.guard.Decide(st)

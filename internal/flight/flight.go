@@ -187,6 +187,8 @@ func (r *Recorder) Record() *Record { return &r.rec }
 // the granted allocation, both as the model evaluated them. The granted
 // allocation's utility is looked up at the smallest candidate ≥ the grant
 // (the grid is ascending; guard overrides can grant between evaluations).
+//
+//jockey:hotpath
 func decisionRegret(d *control.DecisionRecord) float64 {
 	if len(d.Candidates) == 0 {
 		return 0
@@ -241,6 +243,7 @@ func topK(cands []control.CandidateEval, k int) []Candidate {
 	return out
 }
 
+//jockey:hotpath
 func betterCandidate(a, b control.CandidateEval) bool {
 	if a.Utility != b.Utility {
 		return a.Utility > b.Utility

@@ -171,7 +171,7 @@ type Runner struct {
 // NewRunner returns an empty Runner; arenas are sized lazily by the first
 // Run's job plan.
 func NewRunner() *Runner {
-	src := stats.NewSource(0)
+	src := stats.NewSource(0) //jockeyvet:ignore seedflow placeholder state only: reset() reseeds from cfg.Seed before every run
 	return &Runner{src: src, rng: rand.New(src)}
 }
 
@@ -350,6 +350,7 @@ func (r *Runner) applyInitialState() {
 	}
 }
 
+//jockey:hotpath
 func (r *Runner) markReady(stage, task int) {
 	r.queuedAt[stage][task] = r.now
 	r.ready = append(r.ready, taskRef{stage, task})
@@ -362,6 +363,8 @@ func (r *Runner) markReady(stage, task int) {
 // and the backing array stops growing at the job's high-water ready count.
 // Compaction is content-preserving, so it cannot affect simulation
 // results, and reset rewinds head and length while keeping capacity.
+//
+//jockey:hotpath
 func (r *Runner) popReady() (taskRef, bool) {
 	if r.readyHead >= len(r.ready) {
 		return taskRef{}, false
@@ -376,9 +379,12 @@ func (r *Runner) popReady() (taskRef, bool) {
 	return t, true
 }
 
+//jockey:hotpath
 func (r *Runner) readyLen() int { return len(r.ready) - r.readyHead }
 
 // dispatch starts ready tasks while tokens are available.
+//
+//jockey:hotpath
 func (r *Runner) dispatch() {
 	for r.running < r.cfg.Alloc {
 		t, ok := r.popReady()
@@ -389,6 +395,7 @@ func (r *Runner) dispatch() {
 	}
 }
 
+//jockey:hotpath
 func (r *Runner) startTask(stage, task int) {
 	sp := &r.p.Stages[stage]
 	initDelay := sp.Queue.Sample(r.rng)
@@ -413,12 +420,13 @@ func (r *Runner) startTask(stage, task int) {
 	r.q.Push(r.now+initDelay+exec, event{kind: evTaskEnd, stage: stage, task: task, failed: fails})
 }
 
+//jockey:hotpath
 func (r *Runner) run() error {
 	r.dispatch()
 	for r.tasksLeft > 0 {
 		at, ev, ok := r.q.Pop()
 		if !ok {
-			return fmt.Errorf("sim: job %q stalled at %v with %d tasks left (plan bug?)",
+			return fmt.Errorf("sim: job %q stalled at %v with %d tasks left (plan bug?)", //jockeyvet:ignore hotalloc cold path: a stall is a plan bug that ends the run
 				r.job.Name, r.now, r.tasksLeft)
 		}
 		r.now = at
@@ -452,6 +460,7 @@ func (r *Runner) emitSample() {
 	})
 }
 
+//jockey:hotpath
 func (r *Runner) finishTask(ev event) {
 	stage, task := ev.stage, ev.task
 	r.running--

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 )
 
 // unitConfig is the JSON the go command writes for each `go vet -vettool`
@@ -54,17 +55,27 @@ func RunUnit(cfgPath string, jsonOut bool, analyzers []*Analyzer) int {
 	}
 
 	// The go command invokes the tool once per dependency with VetxOnly set,
-	// expecting only the serialized-facts side file. The suite exports no
-	// facts, so dependencies need no analysis — but the output file must
-	// exist for the build cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("jockeyvet\n"), 0o666); err != nil {
+	// expecting the serialized-facts side file. Standard-library dependencies
+	// carry no jockeyvet facts, so they get an empty side file without the
+	// cost of re-typechecking the stdlib; module packages are analyzed even
+	// when VetxOnly, because downstream units need the facts their analyzers
+	// export (seed-consumer signatures, derived-seed helpers).
+	emptyVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		data, err := EncodeFacts(NewFactStore(), analyzers)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "jockeyvet: writing %s: %v\n", cfg.VetxOutput, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
+	}
+	if cfg.VetxOnly && cfg.Standard[cfg.ImportPath] {
+		return emptyVetx()
 	}
 
 	fset := token.NewFileSet()
@@ -72,6 +83,9 @@ func RunUnit(cfgPath string, jsonOut bool, analyzers []*Analyzer) int {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				return emptyVetx()
+			}
 			fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
 			return 1
 		}
@@ -96,17 +110,53 @@ func RunUnit(cfgPath string, jsonOut bool, analyzers []*Analyzer) int {
 	info := NewInfo()
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			// The side file must still exist for the build cache even when
+			// this unit cannot be analyzed.
+			return emptyVetx()
 		}
 		fmt.Fprintf(os.Stderr, "jockeyvet: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := Check(fset, files, pkg, info, analyzers)
+	// Merge the facts every dependency's unit exported. Each side file
+	// carries its package's transitive facts, so order does not matter and
+	// missing entries (stale cache, foreign tools) are not fatal.
+	store := NewFactStore()
+	pkgs := TransitivePackages(pkg)
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			continue
+		}
+		if err := DecodeFacts(data, analyzers, pkgs, store); err != nil {
+			fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
+			return 1
+		}
+	}
+
+	diags, err := Check(fset, files, pkg, info, analyzers, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jockeyvet: %v\n", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		data, err := EncodeFacts(store, analyzers)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jockeyvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	if len(diags) == 0 {
 		return 0

@@ -1,0 +1,270 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a conclusion one analyzer reaches about a package-level object
+// (a function, usually) that downstream packages need to see: "calls to this
+// function yield a derived seed", "this function feeds its Nth parameter
+// into an RNG". Facts mirror the x/tools analysis.Fact shape: a pointer to a
+// JSON-serializable struct with a marker method.
+//
+// Facts cross package boundaries through the vet.cfg protocol: when the go
+// command asks jockeyvet to analyze a dependency (VetxOnly), the facts the
+// analyzers export are serialized to the unit's VetxOutput file alongside
+// the gc export data; units that import the package read them back through
+// PackageVetx. Within one driver invocation the same store carries facts
+// between the analyzers of a single unit.
+type Fact interface{ AFact() }
+
+// A FactStore holds the facts known about objects — both those imported
+// from dependency vetx files and those exported by the analyzers running on
+// the current package. One store spans all analyzers of one unit.
+type FactStore struct {
+	facts map[types.Object][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[types.Object][]Fact{}}
+}
+
+// Export records fact for obj, replacing any existing fact of the same
+// concrete type.
+func (s *FactStore) Export(obj types.Object, fact Fact) {
+	t := reflect.TypeOf(fact)
+	kept := s.facts[obj][:0]
+	for _, f := range s.facts[obj] {
+		if reflect.TypeOf(f) != t {
+			kept = append(kept, f)
+		}
+	}
+	s.facts[obj] = append(kept, fact)
+}
+
+// Import copies the stored fact of out's concrete type into out, reporting
+// whether one was found.
+func (s *FactStore) Import(obj types.Object, out Fact) bool {
+	t := reflect.TypeOf(out)
+	for _, f := range s.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(out).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact records a fact about obj (a package-level function or a
+// method). Analyzers call this through the pass so the driver can serialize
+// the facts for downstream units.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.store != nil && obj != nil {
+		p.store.Export(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of out's type previously exported for
+// obj — by this unit or, via the vetx side files, by the unit that compiled
+// obj's package — into out.
+func (p *Pass) ImportObjectFact(obj types.Object, out Fact) bool {
+	if p.store == nil || obj == nil {
+		return false
+	}
+	return p.store.Import(obj, out)
+}
+
+// wireFact is the serialized form of one (object, fact) pair. Objects are
+// addressed by package path plus a stable key ("Func" for package-level
+// functions, "Type.Method" for methods), which covers everything the suite
+// exports facts about.
+type wireFact struct {
+	Pkg    string          `json:"pkg"`
+	Object string          `json:"object"`
+	Type   string          `json:"type"` // "<analyzer>.<FactTypeName>"
+	Data   json.RawMessage `json:"data"`
+}
+
+type wireFacts struct {
+	Version int        `json:"version"`
+	Facts   []wireFact `json:"facts"`
+}
+
+// factRegistry maps the serialized type tag of each fact declared by the
+// analyzers (Analyzer.FactTypes) to its reflect type, so DecodeFacts can
+// instantiate the right struct.
+func factRegistry(analyzers []*Analyzer) map[string]reflect.Type {
+	reg := map[string]reflect.Type{}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			reg[a.Name+"."+reflect.TypeOf(f).Elem().Name()] = reflect.TypeOf(f)
+		}
+	}
+	return reg
+}
+
+// factTag returns the registry tag for a concrete fact value under the
+// analyzers that declared it, or "" if no analyzer registered its type.
+func factTag(analyzers []*Analyzer, f Fact) string {
+	name := reflect.TypeOf(f).Elem().Name()
+	for _, a := range analyzers {
+		for _, ft := range a.FactTypes {
+			if reflect.TypeOf(ft) == reflect.TypeOf(f) {
+				return a.Name + "." + name
+			}
+		}
+	}
+	return ""
+}
+
+// objectKey returns the stable serialization key for obj, and whether the
+// object is addressable at all (package-level, and exported — unexported
+// objects are invisible to other packages, so their facts stay local).
+func objectKey(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		if !named.Obj().Exported() || !fn.Exported() {
+			return "", false
+		}
+		return named.Obj().Name() + "." + fn.Name(), true
+	}
+	if fn.Pkg() == nil || fn.Parent() != fn.Pkg().Scope() || !fn.Exported() {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// lookupObjectKey resolves a serialized object key within pkg.
+func lookupObjectKey(pkg *types.Package, key string) types.Object {
+	recv, name, isMethod := strings.Cut(key, ".")
+	if !isMethod {
+		return pkg.Scope().Lookup(key)
+	}
+	tn, ok := pkg.Scope().Lookup(recv).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// EncodeFacts serializes every addressable fact in the store — including
+// facts imported from upstream vetx files, so one file carries the
+// transitive closure and units only ever need their direct dependencies'
+// side files. Output is deterministic (sorted) for build-cache stability.
+func EncodeFacts(store *FactStore, analyzers []*Analyzer) ([]byte, error) {
+	out := wireFacts{Version: 1}
+	for obj, facts := range store.facts {
+		key, ok := objectKey(obj)
+		if !ok || obj.Pkg() == nil {
+			continue
+		}
+		for _, f := range facts {
+			tag := factTag(analyzers, f)
+			if tag == "" {
+				continue
+			}
+			data, err := json.Marshal(f)
+			if err != nil {
+				return nil, fmt.Errorf("vet: marshaling fact %s for %s: %w", tag, key, err)
+			}
+			out.Facts = append(out.Facts, wireFact{
+				Pkg:    obj.Pkg().Path(),
+				Object: key,
+				Type:   tag,
+				Data:   data,
+			})
+		}
+	}
+	sort.Slice(out.Facts, func(i, j int) bool {
+		a, b := out.Facts[i], out.Facts[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	return json.MarshalIndent(out, "", "\t")
+}
+
+// DecodeFacts merges the facts serialized in data into the store, resolving
+// objects through pkgs (import path -> type-checked package). Facts about
+// packages outside the unit's import graph, or of unregistered types, are
+// skipped: they cannot influence this unit. Non-JSON data (e.g. a side file
+// written by an older jockeyvet) is ignored entirely.
+func DecodeFacts(data []byte, analyzers []*Analyzer, pkgs map[string]*types.Package, store *FactStore) error {
+	var in wireFacts
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil // legacy or foreign side file: no facts to merge
+	}
+	reg := factRegistry(analyzers)
+	for _, wf := range in.Facts {
+		pkg := pkgs[wf.Pkg]
+		if pkg == nil {
+			continue
+		}
+		obj := lookupObjectKey(pkg, wf.Object)
+		if obj == nil {
+			continue
+		}
+		t, ok := reg[wf.Type]
+		if !ok {
+			continue
+		}
+		fact := reflect.New(t.Elem()).Interface().(Fact)
+		if err := json.Unmarshal(wf.Data, fact); err != nil {
+			return fmt.Errorf("vet: unmarshaling fact %s for %s.%s: %w", wf.Type, wf.Pkg, wf.Object, err)
+		}
+		store.Export(obj, fact)
+	}
+	return nil
+}
+
+// TransitivePackages maps every package reachable from pkg's imports
+// (including pkg itself) by import path, for fact decoding.
+func TransitivePackages(pkg *types.Package) map[string]*types.Package {
+	seen := map[string]*types.Package{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || seen[p.Path()] != nil {
+			return
+		}
+		seen[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(pkg)
+	return seen
+}

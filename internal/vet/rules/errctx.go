@@ -9,12 +9,12 @@ import (
 	"github.com/jockeysim/jockey/internal/vet"
 )
 
-// errCtxPackages are the packages (by final import-path segment) whose
-// errors routinely cross package boundaries into the facade and the
-// experiment harness, where "which job? which stage?" is the first question.
+// errCtxPackages are the packages (by full import path) whose errors
+// routinely cross package boundaries into the facade and the experiment
+// harness, where "which job? which stage?" is the first question.
 var errCtxPackages = map[string]bool{
-	"cluster": true,
-	"control": true,
+	ModulePath + "/internal/cluster": true,
+	ModulePath + "/internal/control": true,
 }
 
 // ErrCtx enforces the error-identity discipline in internal/cluster and
@@ -35,7 +35,7 @@ var ErrCtx = &vet.Analyzer{
 }
 
 func runErrCtx(p *vet.Pass) error {
-	if !errCtxPackages[vet.PkgName(p.Pkg.Path())] {
+	if !errCtxPackages[basePath(p.Pkg.Path())] {
 		return nil
 	}
 	prefix := p.Pkg.Name() + ": "

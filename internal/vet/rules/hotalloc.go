@@ -1,0 +1,346 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/jockeysim/jockey/internal/vet"
+)
+
+// HotPathDirective marks a function whose body must not allocate: the
+// compile-time counterpart of the runtime testing.AllocsPerRun guards that
+// protect the arena-reuse work in internal/sim, internal/eventq,
+// internal/cluster, internal/control, internal/flight, and internal/fleet.
+const HotPathDirective = "//jockey:hotpath"
+
+// HotAlloc statically checks //jockey:hotpath function bodies for
+// allocating constructs:
+//
+//   - make / new and slice or map literals
+//   - composite literals that escape through & (heap allocation)
+//   - append to anything but a struct field or a resliced arena (growing a
+//     local slice from nil allocates every call; arena fields amortize)
+//   - fmt.* calls, string concatenation, and string<->[]byte conversions
+//   - boxing a concrete value into an interface argument or variable
+//   - closures that capture variables (the capture cell escapes)
+//   - go statements (every goroutine allocates its stack)
+//
+// The check is necessarily stricter than the escape analyzer — a
+// non-escaping &T{} is free at runtime but still flagged — because the
+// contract for hot paths is "obviously allocation-free by local
+// inspection". Value composite literals (T{...}) not taken by address are
+// allowed. A construct that is provably cold (an error path) carries a
+// scoped //jockeyvet:ignore hotalloc <reason>.
+var HotAlloc = &vet.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//jockey:hotpath function bodies must not contain allocating constructs (make, escaping literals, growing append, fmt, string concat, boxing, capturing closures)",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *vet.Pass) error {
+	for _, f := range p.Files {
+		if vet.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(p, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //jockey:hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+type hotChecker struct {
+	pass *vet.Pass
+	fd   *ast.FuncDecl
+	// addressed marks composite literals consumed by &, so the CompositeLit
+	// case does not double-report what the UnaryExpr case already flagged.
+	addressed map[*ast.CompositeLit]bool
+}
+
+func checkHotBody(p *vet.Pass, fd *ast.FuncDecl) {
+	c := &hotChecker{pass: p, fd: fd, addressed: map[*ast.CompositeLit]bool{}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(x)
+		case *ast.UnaryExpr:
+			if lit, ok := unparen(x.X).(*ast.CompositeLit); ok && x.Op.String() == "&" {
+				c.addressed[lit] = true
+				c.reportf(x, "&%s composite literal escapes to the heap; reuse an arena slot", typeLabel(p, lit))
+			}
+		case *ast.CompositeLit:
+			c.checkCompositeLit(x)
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" && isStringType(p.Info.TypeOf(x)) {
+				c.reportf(x, "string concatenation allocates; precompute or reuse a byte buffer")
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(x)
+		case *ast.ValueSpec:
+			c.checkValueSpec(x)
+		case *ast.FuncLit:
+			c.checkFuncLit(x)
+		case *ast.GoStmt:
+			c.reportf(x, "go statement allocates a goroutine; hot paths are single-threaded")
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) reportf(n ast.Node, format string, args ...any) {
+	c.pass.Reportf(n.Pos(), "//jockey:hotpath function %s: "+format, append([]any{c.fd.Name.Name}, args...)...)
+}
+
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	p := c.pass
+	// Conversions: string([]byte) and []byte(string) copy and allocate.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to, from := tv.Type, p.Info.TypeOf(call.Args[0])
+		if (isStringType(to) && isByteSliceLike(from)) || (isByteSliceLike(to) && isStringType(from)) {
+			c.reportf(call, "string<->[]byte conversion copies and allocates")
+		}
+		return
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(call, "make allocates; size the buffer once in the setup/shape step")
+			case "new":
+				c.reportf(call, "new allocates; reuse an arena slot")
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+	if name, ok := vet.CalleeOfPkg(p.Info, call, "fmt"); ok {
+		c.reportf(call, "fmt.%s allocates (formatting state and boxed arguments)", name)
+		return
+	}
+	c.checkBoxing(call)
+}
+
+// checkAppend allows the two amortized-reuse idioms — appending to a struct
+// field (the arena) and appending to an explicit reslice like buf[:0] — and
+// flags everything else: appending to a plain local grows a fresh backing
+// array as the function re-runs.
+func (c *hotChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.Info.Selections[dst]; ok && s.Kind() == types.FieldVal {
+			return // arena field: growth amortizes across runs
+		}
+		c.reportf(call, "append to %s grows an unmanaged slice; append to a reused arena field instead", exprString(dst))
+	case *ast.SliceExpr, *ast.IndexExpr:
+		return // buf[:0] / arena[i] reuse idiom
+	default:
+		c.reportf(call, "append to a local slice allocates as it grows; preallocate an arena field")
+	}
+}
+
+// checkBoxing flags concrete, non-pointer-shaped values passed to interface
+// parameters: the conversion heap-allocates a box per call. Pointers,
+// maps, channels, and funcs are word-sized and convert for free; untyped
+// constants are excluded (small-int boxing is interned by the runtime).
+func (c *hotChecker) checkBoxing(call *ast.CallExpr) {
+	p := c.pass
+	sigT := p.Info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue // instantiation decides; the generic body is checked on its own
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		tv := p.Info.Types[arg]
+		if at == nil || tv.Value != nil || tv.IsNil() || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		c.reportf(arg, "passing %s by value boxes it into interface %s (one allocation per call); pass a pointer or keep the call off the hot path", at, pt)
+	}
+}
+
+// checkAssign flags assignments that box a concrete value into an
+// interface-typed variable, plus += string concatenation.
+func (c *hotChecker) checkAssign(as *ast.AssignStmt) {
+	p := c.pass
+	if as.Tok.String() == "+=" && len(as.Lhs) == 1 && isStringType(p.Info.TypeOf(as.Lhs[0])) {
+		c.reportf(as, "string += allocates a fresh string each iteration; use a reused byte buffer")
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt, rt := p.Info.TypeOf(as.Lhs[i]), p.Info.TypeOf(as.Rhs[i])
+		tv := p.Info.Types[as.Rhs[i]]
+		if lt == nil || rt == nil || !types.IsInterface(lt) || types.IsInterface(rt) {
+			continue
+		}
+		if tv.Value != nil || tv.IsNil() || isPointerShaped(rt) {
+			continue
+		}
+		c.reportf(as.Rhs[i], "assigning %s into interface %s boxes it (one allocation); store a pointer instead", rt, lt)
+	}
+}
+
+// checkValueSpec is checkAssign for `var x I = v` declarations.
+func (c *hotChecker) checkValueSpec(vs *ast.ValueSpec) {
+	p := c.pass
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		lt, rt := p.Info.TypeOf(name), p.Info.TypeOf(vs.Values[i])
+		tv := p.Info.Types[vs.Values[i]]
+		if lt == nil || rt == nil || !types.IsInterface(lt) || types.IsInterface(rt) {
+			continue
+		}
+		if tv.Value != nil || tv.IsNil() || isPointerShaped(rt) {
+			continue
+		}
+		c.reportf(vs.Values[i], "assigning %s into interface %s boxes it (one allocation); store a pointer instead", rt, lt)
+	}
+}
+
+func (c *hotChecker) checkCompositeLit(lit *ast.CompositeLit) {
+	if c.addressed[lit] {
+		return
+	}
+	t := c.pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.reportf(lit, "slice literal allocates a backing array; fill a preallocated arena instead")
+	case *types.Map:
+		c.reportf(lit, "map literal allocates; hoist it to a package-level table or the setup step")
+	}
+	// Struct and array value literals stay on the stack and are allowed.
+}
+
+// checkFuncLit flags closures that capture variables from the enclosing
+// function: each capture forces a heap cell plus the closure object itself.
+// Capture-free function literals compile to static funcs and are allowed.
+func (c *hotChecker) checkFuncLit(lit *ast.FuncLit) {
+	p := c.pass
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the enclosing function but outside this
+		// literal. Package-level vars are shared, not captured.
+		if v.Pos() >= c.fd.Pos() && v.Pos() < c.fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		c.reportf(lit, "closure captures %s and allocates; hoist the state into the receiver or pass it explicitly", captured)
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func typeLabel(p *vet.Pass, lit *ast.CompositeLit) string {
+	if t := p.Info.TypeOf(lit); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+	return "T"
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSliceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

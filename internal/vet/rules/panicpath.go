@@ -20,7 +20,7 @@ var PanicPath = &vet.Analyzer{
 }
 
 func runPanicPath(p *vet.Pass) error {
-	if p.Pkg.Name() == "main" || vet.PkgName(p.Pkg.Path()) == "invariant" {
+	if p.Pkg.Name() == "main" || basePath(p.Pkg.Path()) == ModulePath+"/internal/invariant" {
 		return nil
 	}
 	for _, f := range p.Files {

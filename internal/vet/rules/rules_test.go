@@ -27,6 +27,37 @@ func TestWalltimeFleetArbiter(t *testing.T) {
 	vettest.Run(t, "testdata/walltime/fleet", rules.Walltime)
 }
 
+// TestWalltimeExemptsLookalikePackagePaths pins the full-import-path
+// matching: a package whose final segment collides with a deterministic
+// package ("sim") but lives outside the module's internal tree is exempt.
+func TestWalltimeExemptsLookalikePackagePaths(t *testing.T) {
+	vettest.RunPkg(t, "testdata/walltime/simclone", "example.com/fixtures/sim", rules.Walltime)
+}
+
+// TestSeedFlow runs the three-package provenance fixture in dependency
+// order: the stats miniature (analyzed under the real internal/stats path,
+// so the intrinsics resolve), the non-deterministic helper package whose
+// consumer/deriver facts cross the boundary, and the deterministic consumer
+// where the violations surface.
+func TestSeedFlow(t *testing.T) {
+	vettest.RunPkgs(t, []vettest.Pkg{
+		{Dir: "testdata/seedflow/statsfx", Path: rules.ModulePath + "/internal/stats"},
+		{Dir: "testdata/seedflow/seedhelp", Path: rules.ModulePath + "/internal/seedhelp"},
+		{Dir: "testdata/seedflow/sim", Path: rules.ModulePath + "/internal/sim"},
+	}, rules.SeedFlow)
+}
+
+func TestHotAlloc(t *testing.T) {
+	vettest.Run(t, "testdata/hotalloc/hot", rules.HotAlloc)
+}
+
+// TestSeedFlowHotAllocInteraction runs both analyzers over one fixture
+// where single lines violate both rules, pinning that a scoped
+// //jockeyvet:ignore suppresses exactly the named analyzer.
+func TestSeedFlowHotAllocInteraction(t *testing.T) {
+	vettest.Run(t, "testdata/interaction/sim", rules.SeedFlow, rules.HotAlloc)
+}
+
 func TestGlobalRand(t *testing.T) {
 	vettest.Run(t, "testdata/globalrand/app", rules.GlobalRand)
 }

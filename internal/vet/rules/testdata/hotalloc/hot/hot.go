@@ -1,0 +1,88 @@
+// Fixture: the //jockey:hotpath allocation gate. Annotated bodies may not
+// contain allocating constructs; identical constructs in unannotated
+// functions are none of hotalloc's business.
+package hot
+
+import "fmt"
+
+type arena struct {
+	buf   []int
+	items []item
+	n     int
+}
+
+type item struct {
+	id   int
+	cost float64
+}
+
+type sink interface{ accept(int) }
+
+//jockey:hotpath
+func (a *arena) reuseIdioms(scratch []int) []int {
+	// Everything here is allowed: appends to arena fields and reslices
+	// amortize, value literals stay on the stack, arithmetic is free.
+	a.buf = append(a.buf, a.n)
+	scratch = append(scratch[:0], a.buf...)
+	a.items = append(a.items, item{id: a.n, cost: 1.5})
+	a.n++
+	return scratch
+}
+
+//jockey:hotpath
+func makeAndNew() {
+	_ = make([]int, 8) // want `make allocates`
+	_ = new(arena)     // want `new allocates`
+	_ = map[int]int{}  // want `map literal allocates`
+	_ = []int{1, 2, 3} // want `slice literal allocates`
+	_ = &item{id: 1}   // want `&item composite literal escapes`
+}
+
+//jockey:hotpath
+func appendGrowth(local []int, a *arena) []int {
+	local = append(local, 1) // want `append to a local slice allocates`
+	return append(a.buf, 2)  // ok: arena field
+}
+
+//jockey:hotpath
+func formatting(id int, name string) string {
+	s := fmt.Sprintf("job-%d", id) // want `fmt.Sprintf allocates`
+	s = s + name                   // want `string concatenation allocates`
+	s += "!"                       // want `string \+= allocates`
+	b := []byte(name)              // want `string<->\[\]byte conversion`
+	return string(b)               // want `string<->\[\]byte conversion`
+}
+
+//jockey:hotpath
+func boxing(s sink, it item) {
+	var box interface{} = it // want `boxes it`
+	_ = box
+	consume(it) // want `passing .*item by value boxes it`
+	consume(&it)
+	s.accept(it.id)
+}
+
+func consume(v interface{}) { _ = v }
+
+//jockey:hotpath
+func closures(base int) func() int {
+	inc := func() int { return base + 1 } // want `closure captures base`
+	pure := func(x int) int { return x * 2 }
+	_ = pure
+	return inc
+}
+
+//jockey:hotpath
+func spawning() {
+	go consume(nil) // want `go statement allocates a goroutine`
+}
+
+// coldPath has every construct above and no annotation: no findings.
+func coldPath(id int) string {
+	xs := make([]int, 4)
+	xs = append(xs, id)
+	m := map[int]int{id: id}
+	_ = m
+	go consume(nil)
+	return fmt.Sprintf("cold-%d", id)
+}

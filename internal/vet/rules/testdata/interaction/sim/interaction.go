@@ -1,0 +1,40 @@
+// Fixture: seedflow × hotalloc interaction. One line can violate both
+// contracts at once — growing a local slice (hotalloc) with a
+// literal-seeded generator (seedflow) — and a scoped //jockeyvet:ignore
+// must suppress exactly the named rule, leaving the other's findings live.
+package sim
+
+import "math/rand/v2"
+
+// Both rules fire on the same line: the append grows a local slice and the
+// PCG seeds are literals.
+//
+//jockey:hotpath
+func refresh(gens []*rand.Rand) []*rand.Rand {
+	return append(gens, rand.New(rand.NewPCG(3, 4))) // want `append to a local slice allocates` `seed reaching NewPCG is a literal/constant` `seed reaching NewPCG is a literal/constant`
+}
+
+// Naming seedflow in the directive silences only the seed findings; the
+// hotalloc finding survives.
+//
+//jockey:hotpath
+func refreshSeedExempt(gens []*rand.Rand) []*rand.Rand {
+	//jockeyvet:ignore seedflow fixture: literal seeds pinned for the interaction test
+	return append(gens, rand.New(rand.NewPCG(5, 6))) // want `append to a local slice allocates`
+}
+
+// The mirror image: naming hotalloc keeps both seed findings.
+//
+//jockey:hotpath
+func refreshAllocExempt(gens []*rand.Rand) []*rand.Rand {
+	//jockeyvet:ignore hotalloc fixture: growth amortizes in the interaction test
+	return append(gens, rand.New(rand.NewPCG(7, 8))) // want `seed reaching NewPCG is a literal/constant` `seed reaching NewPCG is a literal/constant`
+}
+
+// An unscoped directive still silences the whole line.
+//
+//jockey:hotpath
+func refreshAllExempt(gens []*rand.Rand) []*rand.Rand {
+	//jockeyvet:ignore fixture: whole line exempt in the interaction test
+	return append(gens, rand.New(rand.NewPCG(9, 10)))
+}

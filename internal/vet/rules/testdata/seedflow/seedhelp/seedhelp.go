@@ -1,0 +1,33 @@
+// Fixture: a helper package OUTSIDE the deterministic set. Nothing is
+// reported here — but seedflow still computes facts, so deterministic
+// packages calling these helpers inherit the obligations: Gen is a seed
+// consumer (its parameter reaches rand.NewPCG), Mix is a propagating
+// deriver, and Next launders entropy through mutable package state and is
+// tracked as neither.
+package seedhelp
+
+import (
+	"math/rand/v2"
+
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// Gen builds a generator from a caller-supplied seed: a cross-package seed
+// consumer.
+func Gen(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
+// Mix forwards through the stats chain: derived out iff derived in.
+func Mix(seed uint64) uint64 {
+	return stats.SplitMix64(seed)
+}
+
+var counter uint64
+
+// Next is a laundering helper: its result is fresh mutable state, not a
+// value derived from any master seed, so seedflow refuses to track it.
+func Next() uint64 {
+	counter++
+	return counter
+}

@@ -1,0 +1,15 @@
+// Fixture: a package whose directory and package name collide with the
+// deterministic internal/sim, analyzed under a NON-module import path
+// (example.com/fixtures/sim). Full-path matching must leave it exempt: no
+// findings despite the wall-clock reads.
+package sim
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since)
+}

@@ -36,7 +36,7 @@ var Walltime = &vet.Analyzer{
 }
 
 func runWalltime(p *vet.Pass) error {
-	if !DeterministicPackages[vet.PkgName(p.Pkg.Path())] {
+	if !isDeterministic(p.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range p.Files {

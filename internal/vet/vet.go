@@ -27,6 +27,9 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check, reporting findings through the pass.
 	Run func(*Pass) error
+	// FactTypes lists one zero value per fact type the analyzer exports or
+	// imports, so the driver can serialize them across package boundaries.
+	FactTypes []Fact
 }
 
 // A Pass presents one type-checked package to one analyzer.
@@ -38,6 +41,7 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	store *FactStore
 }
 
 // Reportf records a diagnostic at pos.
@@ -65,27 +69,39 @@ func (d Diagnostic) String() string {
 // IgnoreDirective is the source escape hatch: a comment of the form
 //
 //	//jockeyvet:ignore <reason>
+//	//jockeyvet:ignore <analyzer> <reason>
 //
 // placed on (or on the line directly above) the offending line suppresses
-// every diagnostic for that one line. The reason is mandatory — an ignore
-// without one is itself reported — so each suppression documents why the
-// determinism contract does not apply.
+// diagnostics for that one line. If the first word of the reason names an
+// analyzer, only that analyzer's findings are suppressed; otherwise the
+// directive covers every rule on the line. The reason is mandatory — an
+// ignore without one is itself reported — and a reasoned directive that no
+// longer suppresses anything is reported too (the unused-ignore check), so
+// every suppression stays a live, documented exception.
 const IgnoreDirective = "//jockeyvet:ignore"
 
 type ignoreSite struct {
-	pos    token.Pos
-	reason string
-	used   bool
+	pos      token.Pos
+	analyzer string // "" = all analyzers on the line
+	reason   string
+	used     bool
 }
 
 // Check runs every analyzer over the package and returns the surviving
 // diagnostics in file/line order: findings on lines covered by a reasoned
-// //jockeyvet:ignore are dropped, and ignores missing a reason are reported
-// as findings themselves.
-func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// //jockeyvet:ignore are dropped, ignores missing a reason are reported as
+// findings themselves, and reasoned ignores that suppressed nothing are
+// reported as stale. The store carries analyzer facts across packages; nil
+// means facts stay local to this call.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
+	names := map[string]bool{}
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags}
+		names[a.Name] = true
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags, store: store}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
 		}
@@ -118,6 +134,13 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 				}
 				pos := fset.Position(c.Pos())
 				site := &ignoreSite{pos: c.Pos(), reason: strings.TrimSpace(rest)}
+				// A first word naming an analyzer scopes the directive to that
+				// one rule; the rest of the line is its reason.
+				if first, rest, ok := strings.Cut(site.reason, " "); ok && names[first] {
+					site.analyzer, site.reason = first, strings.TrimSpace(rest)
+				} else if names[site.reason] {
+					site.analyzer, site.reason = site.reason, ""
+				}
 				m := ignores[pos.Filename]
 				if m == nil {
 					m = map[int]*ignoreSite{}
@@ -134,7 +157,8 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 
 	kept := diags[:0]
 	for _, d := range diags {
-		if site := ignores[d.Position.Filename][d.Position.Line]; site != nil && site.reason != "" {
+		site := ignores[d.Position.Filename][d.Position.Line]
+		if site != nil && site.reason != "" && (site.analyzer == "" || site.analyzer == d.Analyzer) {
 			site.used = true
 			continue
 		}
@@ -143,17 +167,35 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 	diags = kept
 
 	// A directive without a reason suppresses nothing and is an error: the
-	// whole point of the escape hatch is the documented justification.
+	// whole point of the escape hatch is the documented justification. A
+	// reasoned directive that suppressed nothing is stale — the offending
+	// code was fixed or the rule name is wrong — and is an error too, so
+	// dead suppressions cannot pile up and mask future violations.
 	for _, m := range ignores {
 		reported := map[*ignoreSite]bool{}
 		for _, site := range m {
-			if site.reason == "" && !reported[site] {
-				reported[site] = true
+			if reported[site] {
+				continue
+			}
+			reported[site] = true
+			switch {
+			case site.reason == "":
 				diags = append(diags, Diagnostic{
 					Analyzer: "jockeyvet",
 					Pos:      site.pos,
 					Position: fset.Position(site.pos),
 					Message:  "jockeyvet:ignore needs a reason (//jockeyvet:ignore <why the rule does not apply>)",
+				})
+			case !site.used:
+				scope := "any rule"
+				if site.analyzer != "" {
+					scope = site.analyzer
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "jockeyvet",
+					Pos:      site.pos,
+					Position: fset.Position(site.pos),
+					Message:  fmt.Sprintf("jockeyvet:ignore suppresses no %s diagnostic on this line; delete the stale directive", scope),
 				})
 			}
 		}
@@ -173,14 +215,6 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
-}
-
-// PkgName returns the last path segment of a package path ("a/b/c" -> "c").
-func PkgName(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
 }
 
 // CalleeOfPkg reports whether call invokes a package-level function of the

@@ -27,8 +27,29 @@ var calls = &Analyzer{
 	},
 }
 
-func checkSrc(t *testing.T, src string) []Diagnostic {
+// retdecl flags every return statement, giving the scoped-ignore tests a
+// second analyzer name to aim directives at.
+var retdecl = &Analyzer{
+	Name: "retdecl",
+	Doc:  "test analyzer: flags every return statement",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func checkSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
 	t.Helper()
+	if len(analyzers) == 0 {
+		analyzers = []*Analyzer{calls}
+	}
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
@@ -39,7 +60,7 @@ func checkSrc(t *testing.T, src string) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Check(fset, []*ast.File{f}, pkg, info, []*Analyzer{calls})
+	diags, err := Check(fset, []*ast.File{f}, pkg, info, analyzers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +131,101 @@ func g() {
 `)
 	if got := lines(diags); len(got) != 1 || got[0] != 6 {
 		t.Fatalf("diagnostics on lines %v, want [6]", got)
+	}
+}
+
+// TestScopedIgnoreSuppressesOnlyNamedRule pins the satellite contract: when
+// one line trips two analyzers, a directive whose first word names one of
+// them suppresses exactly that rule and leaves the other's finding live.
+func TestScopedIgnoreSuppressesOnlyNamedRule(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() int
+
+func g() int {
+	return f() //jockeyvet:ignore calls fixture: suppress only the calls rule
+}
+`, calls, retdecl)
+	if len(diags) != 1 || diags[0].Analyzer != "retdecl" || diags[0].Position.Line != 6 {
+		t.Fatalf("want only retdecl's line-6 finding to survive, got %v", diags)
+	}
+}
+
+// TestScopedIgnoreOtherRule is the mirror image: naming retdecl keeps the
+// calls finding.
+func TestScopedIgnoreOtherRule(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() int
+
+func g() int {
+	return f() //jockeyvet:ignore retdecl fixture: suppress only the return rule
+}
+`, calls, retdecl)
+	if len(diags) != 1 || diags[0].Analyzer != "calls" || diags[0].Position.Line != 6 {
+		t.Fatalf("want only calls' line-6 finding to survive, got %v", diags)
+	}
+}
+
+// TestUnscopedIgnoreSuppressesWholeLine: with no leading rule name the
+// directive still covers every analyzer on the line.
+func TestUnscopedIgnoreSuppressesWholeLine(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() int
+
+func g() int {
+	return f() //jockeyvet:ignore fixture: the whole line is exempt
+}
+`, calls, retdecl)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestUnusedIgnoreIsReported(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func g() int {
+	return 1 //jockeyvet:ignore calls nothing on this line calls anything
+}
+`, calls, retdecl)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (return finding + stale directive): %v", len(diags), diags)
+	}
+	var sawStale bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppresses no seedflow") {
+			t.Fatalf("stale message names the wrong rule: %v", d)
+		}
+		if strings.Contains(d.Message, "suppresses no calls diagnostic") {
+			sawStale = true
+		}
+	}
+	if !sawStale {
+		t.Fatalf("want a stale-directive diagnostic naming the calls rule, got %v", diags)
+	}
+}
+
+// TestScopedReasonlessIgnoreStillNeedsReason: "//jockeyvet:ignore calls"
+// alone is a rule name with no justification, which stays an error.
+func TestScopedReasonlessIgnoreStillNeedsReason(t *testing.T) {
+	diags := checkSrc(t, `package fixture
+
+func f() int
+
+func g() {
+	f() //jockeyvet:ignore calls
+}
+`, calls)
+	var sawReason bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			sawReason = true
+		}
+	}
+	if !sawReason {
+		t.Fatalf("want a needs-a-reason diagnostic, got %v", diags)
 	}
 }
 

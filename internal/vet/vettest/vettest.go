@@ -56,77 +56,127 @@ func exportData(path string) (string, error) {
 	return f, nil
 }
 
-// Run type-checks the fixture package in dir and checks the analyzers'
-// diagnostics against the `// want` expectations. The package's import path
-// is the directory base name, which is how fixtures opt in to
-// package-scoped rules (a fixture dir named "cluster" is analyzed as the
-// cluster package).
+// A Pkg names one fixture package: the directory holding its files and the
+// import path it is analyzed under. The path is how fixtures opt in to (or
+// stay out of) package-scoped rules: a fixture analyzed as
+// "github.com/jockeysim/jockey/internal/sim" is bound by the determinism
+// contract; one analyzed as "example.com/fixture/sim" is not, whatever its
+// directory is called.
+type Pkg struct {
+	Dir  string
+	Path string
+}
+
+// Run analyzes the single fixture package in dir under an import path equal
+// to the directory base name prefixed with the repository's internal/ tree
+// — the common case for package-scoped rules ("testdata/walltime/sim" is
+// analyzed as <module>/internal/sim).
 func Run(t *testing.T, dir string, analyzers ...*vet.Analyzer) {
 	t.Helper()
-	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil || len(names) == 0 {
-		t.Fatalf("no fixture files in %s (%v)", dir, err)
-	}
-	sort.Strings(names)
+	RunPkgs(t, []Pkg{{Dir: dir, Path: "github.com/jockeysim/jockey/internal/" + filepath.Base(dir)}}, analyzers...)
+}
 
+// RunPkg analyzes the fixture in dir under an explicit import path.
+func RunPkg(t *testing.T, dir, path string, analyzers ...*vet.Analyzer) {
+	t.Helper()
+	RunPkgs(t, []Pkg{{Dir: dir, Path: path}}, analyzers...)
+}
+
+// RunPkgs analyzes a sequence of fixture packages in dependency order,
+// sharing one fact store: facts exported while checking earlier packages
+// are visible to later ones, exactly as the driver's vetx side files make
+// upstream facts visible downstream. Later packages may import earlier ones
+// by their fixture paths.
+func RunPkgs(t *testing.T, pkgs []Pkg, analyzers ...*vet.Analyzer) {
+	t.Helper()
+	store := vet.NewFactStore()
+	checked := map[string]*types.Package{}
+	// One fset and one stdlib importer span every package: sibling fixtures
+	// must agree on the identity of shared dependencies (math/rand/v2
+	// imported twice as two distinct *types.Package would break cross-package
+	// assignability).
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatalf("parse %s: %v", name, err)
-		}
-		files = append(files, f)
-	}
-
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	std := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, err := exportData(path)
 		if err != nil {
 			return nil, err
 		}
 		return os.Open(f)
 	})
-	info := vet.NewInfo()
-	pkg, err := (&types.Config{Importer: imp}).Check(filepath.Base(dir), fset, files, info)
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", dir, err)
-	}
+	for _, fp := range pkgs {
+		names, err := filepath.Glob(filepath.Join(fp.Dir, "*.go"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("no fixture files in %s (%v)", fp.Dir, err)
+		}
+		sort.Strings(names)
 
-	diags, err := vet.Check(fset, files, pkg, info, analyzers)
-	if err != nil {
-		t.Fatal(err)
-	}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
 
-	wants := collectWants(t, fset, files)
-	type key struct {
-		file string
-		line int
-	}
-	unclaimed := map[key][]string{}
-	for _, d := range diags {
-		k := key{filepath.Base(d.Position.Filename), d.Position.Line}
-		unclaimed[k] = append(unclaimed[k], d.Message)
-	}
-	for _, w := range wants {
-		k := key{w.file, w.line}
-		matched := -1
-		for i, msg := range unclaimed[k] {
-			if w.rx.MatchString(msg) {
-				matched = i
-				break
+		info := vet.NewInfo()
+		tcfg := &types.Config{Importer: &fixtureImporter{checked: checked, std: std}}
+		pkg, err := tcfg.Check(fp.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", fp.Dir, err)
+		}
+		checked[fp.Path] = pkg
+
+		diags, err := vet.Check(fset, files, pkg, info, analyzers, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wants := collectWants(t, fset, files)
+		type key struct {
+			file string
+			line int
+		}
+		unclaimed := map[key][]string{}
+		for _, d := range diags {
+			k := key{filepath.Base(d.Position.Filename), d.Position.Line}
+			unclaimed[k] = append(unclaimed[k], d.Message)
+		}
+		for _, w := range wants {
+			k := key{w.file, w.line}
+			matched := -1
+			for i, msg := range unclaimed[k] {
+				if w.rx.MatchString(msg) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", w.file, w.line, w.rx, unclaimed[k])
+				continue
+			}
+			unclaimed[k] = append(unclaimed[k][:matched], unclaimed[k][matched+1:]...)
+		}
+		for k, msgs := range unclaimed {
+			for _, msg := range msgs {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
 			}
 		}
-		if matched < 0 {
-			t.Errorf("%s:%d: no diagnostic matching %q (got %q)", w.file, w.line, w.rx, unclaimed[k])
-			continue
-		}
-		unclaimed[k] = append(unclaimed[k][:matched], unclaimed[k][matched+1:]...)
 	}
-	for k, msgs := range unclaimed {
-		for _, msg := range msgs {
-			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
-		}
+}
+
+// fixtureImporter resolves sibling fixture packages already checked in this
+// RunPkgs call, falling back to stdlib export data.
+type fixtureImporter struct {
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok {
+		return p, nil
 	}
+	return i.std.Import(path)
 }
 
 type want struct {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math/bits"
+)
+
+// bitset is a two-level bitmap over machine ids: words holds one bit per
+// machine, sum one bit per non-zero word. first() therefore scans the (tiny)
+// summary level instead of all words, which keeps "lowest-index available
+// machine" O(1)-ish at 10k machines — the indexed up-machine set that
+// replaces the full c.machines scans of earlier engines.
+type bitset struct {
+	words []uint64
+	sum   []uint64
+}
+
+// init sizes the set for n bits and fills it (all true or all false),
+// keeping the backing arrays across reuse.
+func (b *bitset) init(n int, all bool) {
+	nw := (n + 63) / 64
+	ns := (nw + 63) / 64
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+		b.sum = make([]uint64, ns)
+	}
+	b.words = b.words[:nw]
+	b.sum = b.sum[:ns]
+	if !all {
+		clear(b.words)
+		clear(b.sum)
+		return
+	}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := n & 63; tail != 0 {
+		b.words[nw-1] = (uint64(1) << tail) - 1
+	}
+	clear(b.sum)
+	for i := range b.words {
+		if b.words[i] != 0 {
+			b.sum[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+//jockey:hotpath
+func (b *bitset) set(i int) {
+	w := i >> 6
+	b.words[w] |= 1 << (uint(i) & 63)
+	b.sum[w>>6] |= 1 << (uint(w) & 63)
+}
+
+//jockey:hotpath
+func (b *bitset) clear(i int) {
+	w := i >> 6
+	b.words[w] &^= 1 << (uint(i) & 63)
+	if b.words[w] == 0 {
+		b.sum[w>>6] &^= 1 << (uint(w) & 63)
+	}
+}
+
+//jockey:hotpath
+func (b *bitset) get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// first returns the lowest set bit, or -1 when the set is empty.
+//
+//jockey:hotpath
+func (b *bitset) first() int {
+	for si, sw := range b.sum {
+		if sw == 0 {
+			continue
+		}
+		w := si<<6 + bits.TrailingZeros64(sw)
+		return w<<6 + bits.TrailingZeros64(b.words[w])
+	}
+	return -1
+}
+
+// selectK returns the k-th (0-based) set bit in index order, or -1 when
+// fewer than k+1 bits are set. Used by the machine-failure sampler, which
+// picks a uniformly random up machine: the k-th set bit of the up set is
+// exactly the k-th entry of the up-machine slice earlier engines rebuilt per
+// failure event.
+func (b *bitset) selectK(k int) int {
+	for wi, w := range b.words {
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			w &= w - 1 // drop lowest set bit
+		}
+		return wi<<6 + bits.TrailingZeros64(w)
+	}
+	return -1
+}

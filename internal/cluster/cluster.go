@@ -72,6 +72,14 @@ type Config struct {
 	// EpochPeriod is the OnEpoch cadence (default 1 minute when OnEpoch is
 	// set; ignored otherwise).
 	EpochPeriod time.Duration
+	// EventPolicy selects the event queue's storage regime (see
+	// internal/eventq): the zero value, eventq.PolicyAuto, starts on the
+	// reference binary heap and promotes to the calendar queue at cosmos-
+	// scale event counts; PolicyHeap or PolicyCalendar pin one regime. The
+	// replay is bit-identical under every policy — (time, seq) is a strict
+	// total order — so the knob exists for differential tests and
+	// benchmarks, not for tuning output.
+	EventPolicy eventq.Policy
 }
 
 // RackOutage takes a contiguous range of machines down together at a fixed
@@ -334,39 +342,54 @@ type Cluster struct {
 	q      eventq.Queue[event]
 	now    time.Duration
 
-	machines []machine
-	jobs     []*jobRun
-	tracked  int // tracked jobs not yet completed
-	holds    int // open Hold()s keeping Run alive (the fleet arbiter's latch)
+	jobs    []*jobRun
+	tracked int // tracked jobs not yet completed
+	holds   int // open Hold()s keeping Run alive (the fleet arbiter's latch)
 
-	utilSamples  []utilSample
+	// Machine state is struct-of-arrays, indexed by machine id. Every
+	// machine has cfg.SlotsPerMachine slots; up/available membership lives
+	// in the two bitsets so the dispatchers never scan the fleet:
+	//
+	//   - upBits: machine is up;
+	//   - availBits: machine is up AND has a free slot (the invariant every
+	//     used/up transition maintains) — freeMachine is availBits.first().
+	//
+	// mDown is the latest scheduled recovery time; recover events firing
+	// earlier are stale (an overlapping rack outage extended the downtime).
+	// mHead heads each machine's intrusive doubly-linked list of running
+	// attempts (store.nextM/prevM), so killing a machine walks exactly its
+	// own tasks.
+	mUsed     []int32
+	mDown     []time.Duration
+	mHead     []int32
+	upBits    bitset
+	availBits bitset
+	upCount   int
+	upCap     int // Σ slots over up machines (Capacity without the scan)
+
+	// store holds all live task attempts; totalRunning counts primary (non-
+	// duplicate) attempts cluster-wide for utilization accounting.
+	store        taskStore
+	totalRunning int
+
+	// busySecs/availSecs accumulate the utilization integral event by event
+	// in chronological order — the same float additions, in the same order,
+	// as the retired per-event sample log, so Utilization() is bit-identical
+	// while a cosmos-scale replay no longer retains millions of samples.
+	busySecs     float64
+	availSecs    float64
 	lastUtilTime time.Duration
 
 	// eng is non-nil when this cluster is owned by a reusable Engine, which
-	// then pools jobRun arenas and runningTask records across runs.
+	// then pools jobRun arenas across runs.
 	eng *Engine
 
 	// Scheduling scratch buffers, reused across events so the hot path
-	// (reclassify / dispatch / locality lookup, which run on nearly every
+	// (dispatch / eviction / locality lookup, which run on nearly every
 	// event) does not allocate. Their contents never outlive one call.
-	scratchTasks    []*runningTask
+	scratchSlots    []int32
 	scratchJobs     []*jobRun
 	scratchReplicas []int
-}
-
-type utilSample struct {
-	at       time.Duration
-	running  int
-	capacity int
-}
-
-type machine struct {
-	up    bool
-	slots int // total slots when up
-	used  int
-	// downUntil is the latest scheduled recovery time; recover events firing
-	// earlier are stale (an overlapping rack outage extended the downtime).
-	downUntil time.Duration
 }
 
 // New creates an empty cluster.
@@ -393,20 +416,34 @@ func (c *Cluster) init(cfg Config) error {
 	} else {
 		stats.ReseedSource(c.rngSrc, seed)
 	}
+	c.q.SetPolicy(cfg.EventPolicy)
 	c.q.Reset()
 	c.now = 0
 	c.tracked = 0
 	c.holds = 0
 	c.jobs = c.jobs[:0] // arenas were recycled by Engine.Reset
-	c.utilSamples = c.utilSamples[:0]
+	c.store.reset()
+	c.totalRunning = 0
+	c.busySecs = 0
+	c.availSecs = 0
 	c.lastUtilTime = 0
-	if cap(c.machines) < cfg.Machines {
-		c.machines = make([]machine, cfg.Machines)
+	if cap(c.mUsed) < cfg.Machines {
+		c.mUsed = make([]int32, cfg.Machines)
+		c.mDown = make([]time.Duration, cfg.Machines)
+		c.mHead = make([]int32, cfg.Machines)
 	}
-	c.machines = c.machines[:cfg.Machines]
-	for i := range c.machines {
-		c.machines[i] = machine{up: true, slots: cfg.SlotsPerMachine}
+	c.mUsed = c.mUsed[:cfg.Machines]
+	c.mDown = c.mDown[:cfg.Machines]
+	c.mHead = c.mHead[:cfg.Machines]
+	clear(c.mUsed)
+	clear(c.mDown)
+	for i := range c.mHead {
+		c.mHead[i] = -1
 	}
+	c.upBits.init(cfg.Machines, true)
+	c.availBits.init(cfg.Machines, true)
+	c.upCount = cfg.Machines
+	c.upCap = cfg.Machines * cfg.SlotsPerMachine
 	if cfg.MachineMTBF > 0 {
 		c.scheduleNextMachineFailure()
 	}
@@ -429,15 +466,7 @@ func (c *Cluster) init(cfg Config) error {
 }
 
 // Capacity returns the current total token capacity of up machines.
-func (c *Cluster) Capacity() int {
-	total := 0
-	for _, m := range c.machines {
-		if m.up {
-			total += m.slots
-		}
-	}
-	return total
-}
+func (c *Cluster) Capacity() int { return c.upCap }
 
 // TotalCapacity returns the capacity with all machines up.
 func (c *Cluster) TotalCapacity() int {
@@ -450,15 +479,10 @@ func (c *Cluster) Now() time.Duration { return c.now }
 // Utilization returns the time-weighted average fraction of capacity in use
 // over the run so far.
 func (c *Cluster) Utilization() float64 {
-	var busy, avail float64
-	for _, s := range c.utilSamples {
-		busy += float64(s.running) * s.at.Seconds()
-		avail += float64(s.capacity) * s.at.Seconds()
-	}
-	if avail == 0 {
+	if c.availSecs == 0 {
 		return 0
 	}
-	return busy / avail
+	return c.busySecs / c.availSecs
 }
 
 // Submit adds a job to the cluster. It may be called before Run or from the
@@ -572,10 +596,29 @@ type jobRun struct {
 	consumers   [][][]taskRef
 	tasksLeft   int
 
-	running map[taskKey]*runningTask
-	// dups holds at most one speculative duplicate per task (straggler
-	// mitigation); duplicates always run on spare tokens.
-	dups     map[taskKey]*runningTask
+	// slot and dupSlot map [stage][task] to the store slot of the running
+	// primary attempt / speculative duplicate (-1 when none) — the O(1)
+	// lookup that replaces the running/dups maps of earlier engines.
+	slot    [][]int32
+	dupSlot [][]int32
+	// The job's live attempts are partitioned across indexed heaps ordered
+	// by taskStore.less, maintained incrementally at every state transition:
+	//
+	//   - guarHeap (max): primaries charged to guaranteed tokens;
+	//   - spareMax (max) and spareMin (min): primaries on spare tokens, in
+	//     both directions — the max end answers "youngest spare to evict",
+	//     the min end reclassifies spares onto freed guaranteed tokens;
+	//   - dupHeap (max): speculative duplicates (always spare-class).
+	//
+	// liveRunning counts primaries, guarCount the guaranteed-flagged subset;
+	// the spare count is their difference.
+	guarHeap    slotHeap
+	spareMax    slotHeap
+	spareMin    slotHeap
+	dupHeap     slotHeap
+	liveRunning int
+	guarCount   int
+
 	stageP90 []time.Duration // per stage, the service-time p90 (speculation trigger)
 	// driftFactor multiplies each stage's sampled service times (1 until a
 	// StageDrift fires; drifts compound multiplicatively).
@@ -598,29 +641,20 @@ type jobRun struct {
 
 type taskRef struct{ stage, task int }
 
-type taskKey struct{ stage, task int }
-
-type runningTask struct {
-	stage, task int
-	attempt     int
-	machine     int
-	startedAt   time.Duration // dispatch time
-	execStart   time.Duration // after init delay
-	guaranteed  bool          // current token class (reclassified each event)
-	spawnedGuar bool          // token class at dispatch, for accounting
-}
-
 // newArena allocates the plan-shape-dependent state of a jobRun: slice
 // sizes and the consumer graph depend only on the *dag.Job, so an arena is
 // reusable across runs of any job sharing that plan (profiles may differ —
 // a scaled input keeps the plan). Per-run state is set by prepare.
 func newArena(job *dag.Job) *jobRun {
-	jr := &jobRun{
-		job:     job,
-		running: make(map[taskKey]*runningTask),
-		dups:    make(map[taskKey]*runningTask),
-	}
+	jr := &jobRun{job: job}
 	n := job.NumStages()
+	jr.slot = make([][]int32, n)
+	jr.dupSlot = make([][]int32, n)
+	for s := 0; s < n; s++ {
+		tasks := job.Stages[s].Tasks
+		jr.slot[s] = make([]int32, tasks)
+		jr.dupSlot[s] = make([]int32, tasks)
+	}
 	jr.done = make([][]bool, n)
 	jr.doneCount = make([]int, n)
 	jr.remDeps = make([][]int, n)
@@ -680,6 +714,12 @@ func (jr *jobRun) prepare(id int, cfg JobConfig, seed uint64) {
 	jr.ready = jr.ready[:0]
 	jr.readyHead = 0
 	jr.tasksLeft = 0
+	jr.guarHeap.s = jr.guarHeap.s[:0]
+	jr.spareMax.s = jr.spareMax.s[:0]
+	jr.spareMin.s = jr.spareMin.s[:0]
+	jr.dupHeap.s = jr.dupHeap.s[:0]
+	jr.liveRunning = 0
+	jr.guarCount = 0
 	for s := range jr.done {
 		clear(jr.done[s])
 		jr.doneCount[s] = 0
@@ -687,6 +727,10 @@ func (jr *jobRun) prepare(id int, cfg JobConfig, seed uint64) {
 		clear(jr.attempts[s])
 		jr.driftFactor[s] = 1
 		jr.tasksLeft += jr.job.Stages[s].Tasks
+		for t := range jr.slot[s] {
+			jr.slot[s][t] = -1
+			jr.dupSlot[s][t] = -1
+		}
 	}
 	jr.stageP90 = jr.stageP90[:0]
 	if cfg.SpeculativeThreshold > 0 {
@@ -742,19 +786,6 @@ func (jr *jobRun) markReady(now time.Duration, stage, task int) {
 	jr.ready = append(jr.ready, taskRef{stage, task})
 }
 
-// guaranteedRunning counts running tasks charged to guaranteed tokens.
-//
-//jockey:hotpath
-func (jr *jobRun) guaranteedRunning() int {
-	n := 0
-	for _, rt := range jr.running {
-		if rt.guaranteed {
-			n++
-		}
-	}
-	return n
-}
-
 func (jr *jobRun) setGuarantee(now time.Duration, g int) {
 	if g < 0 {
 		g = 0
@@ -771,7 +802,7 @@ func (jr *jobRun) accrueAlloc(now time.Duration) {
 	dt := (now - jr.lastAllocAt).Seconds()
 	if dt > 0 {
 		jr.allocSecs += float64(jr.guarantee) * dt
-		jr.usedSecs += float64(len(jr.running)) * dt
+		jr.usedSecs += float64(jr.liveRunning) * dt
 	}
 	jr.lastAllocAt = now
 }

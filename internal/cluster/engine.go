@@ -1,9 +1,7 @@
 package cluster
 
 import (
-	"cmp"
 	"fmt"
-	"slices"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
@@ -117,17 +115,19 @@ func (c *Cluster) unfinishedTracked() string {
 	return names
 }
 
+// accrueUtil folds the interval since the previous event into the
+// utilization integral. The counts are maintained incrementally, so this is
+// O(1) per event where it once scanned every job and machine.
+//
 //jockey:hotpath
 func (c *Cluster) accrueUtil(now time.Duration) {
 	dt := now - c.lastUtilTime
 	if dt <= 0 {
 		return
 	}
-	running := 0
-	for _, jr := range c.jobs {
-		running += len(jr.running)
-	}
-	c.utilSamples = append(c.utilSamples, utilSample{at: dt, running: running, capacity: c.Capacity()})
+	sec := dt.Seconds()
+	c.busySecs += float64(c.totalRunning) * sec
+	c.availSecs += float64(c.upCap) * sec
 	c.lastUtilTime = now
 }
 
@@ -220,13 +220,13 @@ func (c *Cluster) handleRackOutage(idx int) {
 	r := c.cfg.RackOutages[idx]
 	until := c.now + r.Duration
 	for mi := r.FirstMachine; mi < r.FirstMachine+r.Machines; mi++ {
-		if c.machines[mi].up {
+		if c.upBits.get(mi) {
 			c.killMachine(mi)
 		}
 		// An already-down machine (MTBF failure or overlapping rack) just has
 		// its downtime extended; its earlier recover event goes stale.
-		if until > c.machines[mi].downUntil {
-			c.machines[mi].downUntil = until
+		if until > c.mDown[mi] {
+			c.mDown[mi] = until
 			c.q.Push(until, event{kind: evMachineRecover, machine: mi})
 		}
 	}
@@ -294,7 +294,7 @@ func (c *Cluster) controlDecision(jr *jobRun) {
 			T:         c.now - jr.start,
 			Raw:       d.Raw,
 			Granted:   d.Granted,
-			Running:   len(jr.running),
+			Running:   jr.liveRunning,
 			Oracle:    oracle,
 			Progress:  d.Progress,
 			Predicted: d.Predicted,
@@ -321,29 +321,32 @@ func (c *Cluster) handleDeadlineChange(ev event) {
 
 func (c *Cluster) handleTaskEnd(ev event) {
 	jr := c.jobs[ev.job]
-	key := taskKey{ev.stage, ev.task}
-	var rt *runningTask
-	var ok bool
+	st := &c.store
+	var s int32
 	if ev.dup {
-		rt, ok = jr.dups[key]
+		s = jr.dupSlot[ev.stage][ev.task]
 	} else {
-		rt, ok = jr.running[key]
+		s = jr.slot[ev.stage][ev.task]
 	}
-	if !ok || rt.attempt != ev.attempt {
+	if s < 0 || int(st.attempt[s]) != ev.attempt {
 		return // stale event: the attempt was evicted, killed, or outraced
 	}
 	jr.accrueAlloc(c.now)
+	machine := int(st.machine[s])
+	spawnedGuar := st.flags[s]&flagSpawnGuar != 0
+	c.detach(jr, s)
+	c.recordAttempt(jr, s, c.now, ev.failed)
+	// The other live copy of the task, if any (the duplicate when the
+	// primary just ended, or vice versa).
+	var sibling int32
 	if ev.dup {
-		delete(jr.dups, key)
+		sibling = jr.slot[ev.stage][ev.task]
 	} else {
-		delete(jr.running, key)
+		sibling = jr.dupSlot[ev.stage][ev.task]
 	}
-	c.machines[rt.machine].used--
-	c.recordAttempt(jr, rt, c.now, ev.failed)
-	sibling, siblingDup := jr.sibling(key, ev.dup)
 	if ev.failed {
-		c.freeRunningTask(rt)
-		if sibling != nil {
+		st.release(s)
+		if sibling >= 0 {
 			// The other copy carries on; nothing to requeue.
 			c.reschedule()
 			return
@@ -353,11 +356,11 @@ func (c *Cluster) handleTaskEnd(ev event) {
 		c.reschedule()
 		return
 	}
-	if sibling != nil {
+	if sibling >= 0 {
 		// This copy won the race: cancel the loser, discarding its work.
-		c.cancelCopy(jr, key, sibling, siblingDup)
+		c.cancelCopy(jr, sibling)
 	}
-	if rt.spawnedGuar {
+	if spawnedGuar {
 		jr.guarDone++
 	} else {
 		jr.spareDone++
@@ -365,13 +368,13 @@ func (c *Cluster) handleTaskEnd(ev event) {
 	if len(jr.job.Inputs(ev.stage)) == 0 {
 		jr.rootDone++
 		for _, mi := range c.replicaMachines(jr, ev.stage, ev.task) {
-			if mi == rt.machine {
+			if mi == machine {
 				jr.localDone++
 				break
 			}
 		}
 	}
-	c.freeRunningTask(rt)
+	st.release(s)
 	jr.done[ev.stage][ev.task] = true
 	jr.doneCount[ev.stage]++
 	jr.tasksLeft--
@@ -400,20 +403,24 @@ func (c *Cluster) handleTaskEnd(ev event) {
 	c.reschedule()
 }
 
-func (c *Cluster) recordAttempt(jr *jobRun, rt *runningTask, ended time.Duration, failed bool) {
+// recordAttempt emits the trace/callback record for an attempt that just
+// ended. The slot is still readable (detached but not yet released).
+func (c *Cluster) recordAttempt(jr *jobRun, s int32, ended time.Duration, failed bool) {
 	if jr.result.Trace == nil && jr.cfg.OnTaskEvent == nil {
 		return
 	}
-	started := rt.execStart
+	st := &c.store
+	started := st.execStart[s]
 	if started > ended {
 		started = ended // killed during its init delay
 	}
+	stage, task := int(st.stage[s]), int(st.task[s])
 	e := trace.TaskEvent{
-		Stage:      rt.stage,
-		Task:       rt.task,
-		Attempt:    rt.attempt,
-		Queued:     jr.queuedAt[rt.stage][rt.task] - jr.start,
-		Dispatched: rt.startedAt - jr.start,
+		Stage:      stage,
+		Task:       task,
+		Attempt:    int(st.attempt[s]),
+		Queued:     jr.queuedAt[stage][task] - jr.start,
+		Dispatched: st.startedAt[s] - jr.start,
 		Started:    started - jr.start,
 		Ended:      ended - jr.start,
 		Failed:     failed,
@@ -464,19 +471,15 @@ func (c *Cluster) completeJob(jr *jobRun) {
 }
 
 func (c *Cluster) handleMachineFail() {
-	// Pick a random up machine; if none, just schedule the next failure.
-	up := make([]int, 0, len(c.machines))
-	for i, m := range c.machines {
-		if m.up {
-			up = append(up, i)
-		}
-	}
-	if len(up) > 0 {
-		mi := up[c.rng.IntN(len(up))]
+	// Pick a random up machine (the k-th set bit of the up set is the k-th
+	// up machine in index order, reproducing the retired slice build without
+	// its per-failure allocation); if none, just schedule the next failure.
+	if c.upCount > 0 {
+		mi := c.upBits.selectK(c.rng.IntN(c.upCount))
 		c.killMachine(mi)
 		rec := c.cfg.MachineRecovery.Sample(c.rng)
-		if c.now+rec > c.machines[mi].downUntil {
-			c.machines[mi].downUntil = c.now + rec
+		if c.now+rec > c.mDown[mi] {
+			c.mDown[mi] = c.now + rec
 		}
 		c.q.Push(c.now+rec, event{kind: evMachineRecover, machine: mi})
 	}
@@ -485,100 +488,150 @@ func (c *Cluster) handleMachineFail() {
 }
 
 func (c *Cluster) killMachine(mi int) {
-	c.machines[mi].up = false
-	for _, jr := range c.jobs {
-		if !jr.arrived || jr.completed {
-			continue
-		}
-		victims := c.scratchTasks[:0]
-		for _, rt := range jr.running {
-			if rt.machine == mi {
-				victims = append(victims, rt)
-			}
-		}
-		for _, rt := range jr.dups {
-			if rt.machine == mi {
-				victims = append(victims, rt)
-			}
-		}
-		// Map iteration order is random; sort for deterministic replay.
-		slices.SortFunc(victims, cmpTask)
-		for _, rt := range victims {
-			c.evictTask(jr, rt)
-		}
-		c.scratchTasks = victims
+	c.upBits.clear(mi)
+	c.availBits.clear(mi)
+	c.upCount--
+	c.upCap -= c.cfg.SlotsPerMachine
+	st := &c.store
+	victims := c.scratchSlots[:0]
+	for s := c.mHead[mi]; s >= 0; s = st.nextM[s] {
+		victims = append(victims, s)
 	}
-	c.machines[mi].used = 0
+	// Evict in (job, start time, stage, task) order — job submission order,
+	// then the per-job total order — matching the retired per-job map walk
+	// plus sort. Victim counts are bounded by the machine's slots, so an
+	// insertion sort is both allocation-free and fast.
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && c.victimLess(victims[j], victims[j-1]); j-- {
+			victims[j], victims[j-1] = victims[j-1], victims[j]
+		}
+	}
+	for _, s := range victims {
+		c.evictTask(c.jobs[st.job[s]], s)
+	}
+	c.scratchSlots = victims
+	c.mUsed[mi] = 0
 }
 
-// sibling returns the other live copy of a task (the duplicate if the
-// primary just ended, or vice versa), if any.
-func (jr *jobRun) sibling(key taskKey, endedDup bool) (*runningTask, bool) {
-	if endedDup {
-		if rt, ok := jr.running[key]; ok {
-			return rt, false
+//jockey:hotpath
+func (c *Cluster) victimLess(a, b int32) bool {
+	if c.store.job[a] != c.store.job[b] {
+		return c.store.job[a] < c.store.job[b]
+	}
+	return c.store.less(a, b)
+}
+
+// detach removes an attempt from every index that tracks it — the slot
+// table, its class heaps, the machine task list, the machine's used count,
+// and the running totals — leaving the slot readable until released.
+//
+//jockey:hotpath
+func (c *Cluster) detach(jr *jobRun, s int32) {
+	st := &c.store
+	stage, task := st.stage[s], st.task[s]
+	if st.flags[s]&flagDup != 0 {
+		jr.dupSlot[stage][task] = -1
+		st.maxRemove(&jr.dupHeap, s)
+	} else {
+		jr.slot[stage][task] = -1
+		if st.flags[s]&flagGuar != 0 {
+			st.maxRemove(&jr.guarHeap, s)
+			jr.guarCount--
+		} else {
+			st.maxRemove(&jr.spareMax, s)
+			st.minRemove(&jr.spareMin, s)
 		}
-		return nil, false
+		jr.liveRunning--
+		c.totalRunning--
 	}
-	if rt, ok := jr.dups[key]; ok {
-		return rt, true
+	mi := int(st.machine[s])
+	if prev := st.prevM[s]; prev >= 0 {
+		st.nextM[prev] = st.nextM[s]
+	} else {
+		c.mHead[mi] = st.nextM[s]
 	}
-	return nil, false
+	if next := st.nextM[s]; next >= 0 {
+		st.prevM[next] = st.prevM[s]
+	}
+	c.mUsed[mi]--
+	if c.upBits.get(mi) {
+		c.availBits.set(mi) // a slot just freed on an up machine
+	}
+}
+
+// attachMachine links a freshly dispatched attempt into its machine's task
+// list and claims the slot token.
+//
+//jockey:hotpath
+func (c *Cluster) attachMachine(mi int, s int32) {
+	st := &c.store
+	st.prevM[s] = -1
+	st.nextM[s] = c.mHead[mi]
+	if head := c.mHead[mi]; head >= 0 {
+		st.prevM[head] = s
+	}
+	c.mHead[mi] = s
+	c.mUsed[mi]++
+	if int(c.mUsed[mi]) >= c.cfg.SlotsPerMachine {
+		c.availBits.clear(mi)
+	}
 }
 
 // cancelCopy kills the losing copy of a speculated task: its slot frees and
 // its work is discarded, but the task is NOT requeued (the winner already
 // completed it).
-func (c *Cluster) cancelCopy(jr *jobRun, key taskKey, rt *runningTask, isDup bool) {
-	if isDup {
-		delete(jr.dups, key)
-	} else {
-		delete(jr.running, key)
-	}
-	c.machines[rt.machine].used--
-	c.recordAttempt(jr, rt, c.now, true)
-	c.freeRunningTask(rt)
+func (c *Cluster) cancelCopy(jr *jobRun, s int32) {
+	c.detach(jr, s)
+	c.recordAttempt(jr, s, c.now, true)
+	c.store.release(s)
 }
 
 // evictTask kills a running task attempt: its work is lost and the pending
 // end event becomes stale. The task re-queues unless another copy of it is
 // still running.
-func (c *Cluster) evictTask(jr *jobRun, rt *runningTask) {
+func (c *Cluster) evictTask(jr *jobRun, s int32) {
 	jr.accrueAlloc(c.now)
-	key := taskKey{rt.stage, rt.task}
+	st := &c.store
+	stage, task := int(st.stage[s]), int(st.task[s])
 	jr.evictions++
-	if jr.dups[key] == rt {
-		c.cancelCopy(jr, key, rt, true)
-		if _, ok := jr.running[key]; !ok {
+	if st.flags[s]&flagDup != 0 {
+		c.cancelCopy(jr, s)
+		if jr.slot[stage][task] < 0 {
 			// The duplicate was the only live copy (the primary had already
 			// failed or been evicted): requeue the task.
-			jr.attempts[key.stage][key.task]++
-			jr.markReady(c.now, key.stage, key.task)
+			jr.attempts[stage][task]++
+			jr.markReady(c.now, stage, task)
 		}
 		return
 	}
-	delete(jr.running, key)
-	c.machines[rt.machine].used--
-	c.recordAttempt(jr, rt, c.now, true)
-	c.freeRunningTask(rt)
-	if _, ok := jr.dups[key]; ok {
+	c.detach(jr, s)
+	c.recordAttempt(jr, s, c.now, true)
+	st.release(s)
+	if jr.dupSlot[stage][task] >= 0 {
 		// The duplicate carries on; no requeue.
 		return
 	}
-	jr.attempts[key.stage][key.task]++
-	jr.markReady(c.now, key.stage, key.task)
+	jr.attempts[stage][task]++
+	jr.markReady(c.now, stage, task)
 }
 
 func (c *Cluster) handleMachineRecover(mi int) {
-	if c.now < c.machines[mi].downUntil {
+	if c.now < c.mDown[mi] {
 		return // stale: an overlapping outage extended this machine's downtime
 	}
-	c.machines[mi].up = true
+	if !c.upBits.get(mi) {
+		c.upBits.set(mi)
+		c.upCount++
+		c.upCap += c.cfg.SlotsPerMachine
+		if int(c.mUsed[mi]) < c.cfg.SlotsPerMachine {
+			c.availBits.set(mi)
+		}
+	}
 	c.reschedule()
 }
 
 func (c *Cluster) scheduleNextMachineFailure() {
-	mean := c.cfg.MachineMTBF.Seconds() / float64(len(c.machines))
+	mean := c.cfg.MachineMTBF.Seconds() / float64(len(c.mUsed))
 	gap := time.Duration(c.rng.ExpFloat64() * mean * float64(time.Second))
 	if gap <= 0 {
 		gap = time.Second
@@ -593,7 +646,7 @@ func (c *Cluster) replicaMachines(jr *jobRun, stage, task int) []int {
 	if len(jr.job.Inputs(stage)) > 0 {
 		return nil // only root stages read DFS partitions directly
 	}
-	n := len(c.machines)
+	n := len(c.mUsed)
 	h := stats.DeriveSeedInt(uint64(jr.id)<<32|uint64(stage), task)
 	out := c.scratchReplicas[:0]
 	stride := 1
@@ -611,25 +664,24 @@ func (c *Cluster) replicaMachines(jr *jobRun, stage, task int) []int {
 // freeMachineFor returns a machine with a free slot for the given task,
 // preferring machines holding the task's input replicas; -1 if the cluster
 // is full.
+//
+//jockey:hotpath
 func (c *Cluster) freeMachineFor(jr *jobRun, stage, task int) int {
 	for _, mi := range c.replicaMachines(jr, stage, task) {
-		m := &c.machines[mi]
-		if m.up && m.used < m.slots {
+		if c.availBits.get(mi) {
 			return mi
 		}
 	}
 	return c.freeMachine()
 }
 
-// freeMachine returns a machine with a free slot, or -1.
+// freeMachine returns the lowest-indexed machine with a free slot, or -1.
+// availBits indexes exactly the up machines with spare slots, so this is a
+// bitmap scan instead of the full-cluster walk of earlier engines.
+//
+//jockey:hotpath
 func (c *Cluster) freeMachine() int {
-	for i := range c.machines {
-		m := &c.machines[i]
-		if m.up && m.used < m.slots {
-			return i
-		}
-	}
-	return -1
+	return c.availBits.first()
 }
 
 // reschedule enforces the token-sharing policy: reclassify running tasks,
@@ -641,46 +693,64 @@ func (c *Cluster) reschedule() {
 	c.dispatchSpare()
 }
 
-// reclassify marks, per job, its earliest-started running tasks as
-// guaranteed up to the job's guarantee; the remainder run on spare tokens.
-func (c *Cluster) reclassify() {
-	for _, jr := range c.jobs {
-		if !jr.arrived || jr.completed || len(jr.running) == 0 {
-			continue
-		}
-		tasks := c.scratchTasks[:0]
-		for _, rt := range jr.running {
-			tasks = append(tasks, rt)
-		}
-		// Deterministic order despite the map walk: cmpTask is a total
-		// order (start time, then stage/task position, which is unique).
-		slices.SortFunc(tasks, cmpTask)
-		eff := c.effectiveGuarantee(jr)
-		for i, rt := range tasks {
-			rt.guaranteed = i < eff
-		}
-		c.scratchTasks = tasks
-	}
-}
-
-// cmpTask totally orders running tasks by start time, then stage/task
-// position. Within one job a primary and its duplicate cannot share a start
-// time (speculation requires elapsed progress), so the order has no ties and
-// an unstable sort is deterministic.
+// reclassify restores, per job, the invariant that the guaranteed class is
+// exactly the job's effectiveGuarantee() earliest-started primaries (by the
+// taskStore.less total order) and everything else is spare. Earlier engines
+// re-derived the partition from scratch with a full sort per pass; here it is
+// repaired incrementally from the class heaps:
+//
+//  1. count rebalance — while the guaranteed class is too big, demote its
+//     maximum (latest-started) member; while too small, promote the spare
+//     minimum (earliest-started);
+//  2. boundary repair — while some spare started before some guaranteed task
+//     (min(spare) < max(guaranteed)), swap the two.
+//
+// Step 2 strictly shrinks the number of cross-class inversions each swap, so
+// it terminates with min(spare) ≥ max(guaranteed): with the class sizes fixed
+// by step 1, that is precisely the rank partition the full sort produced.
 //
 //jockey:hotpath
-func cmpTask(a, b *runningTask) int {
-	if a.startedAt != b.startedAt {
-		return cmp.Compare(a.startedAt, b.startedAt)
+func (c *Cluster) reclassify() {
+	st := &c.store
+	for _, jr := range c.jobs {
+		if !jr.arrived || jr.completed || jr.liveRunning == 0 {
+			continue
+		}
+		target := c.effectiveGuarantee(jr)
+		if jr.liveRunning < target {
+			target = jr.liveRunning
+		}
+		for jr.guarCount > target {
+			s := jr.guarHeap.s[0]
+			st.maxRemove(&jr.guarHeap, s)
+			st.flags[s] &^= flagGuar
+			st.maxPush(&jr.spareMax, s)
+			st.minPush(&jr.spareMin, s)
+			jr.guarCount--
+		}
+		for jr.guarCount < target {
+			s := jr.spareMin.s[0]
+			st.minRemove(&jr.spareMin, s)
+			st.maxRemove(&jr.spareMax, s)
+			st.flags[s] |= flagGuar
+			st.maxPush(&jr.guarHeap, s)
+			jr.guarCount++
+		}
+		for len(jr.spareMin.s) > 0 && len(jr.guarHeap.s) > 0 &&
+			st.less(jr.spareMin.s[0], jr.guarHeap.s[0]) {
+			g := jr.guarHeap.s[0]
+			sp := jr.spareMin.s[0]
+			st.maxRemove(&jr.guarHeap, g)
+			st.flags[g] &^= flagGuar
+			st.maxPush(&jr.spareMax, g)
+			st.minPush(&jr.spareMin, g)
+			st.minRemove(&jr.spareMin, sp)
+			st.maxRemove(&jr.spareMax, sp)
+			st.flags[sp] |= flagGuar
+			st.maxPush(&jr.guarHeap, sp)
+		}
 	}
-	if a.stage != b.stage {
-		return a.stage - b.stage
-	}
-	return a.task - b.task
 }
-
-//jockey:hotpath
-func lessTask(a, b *runningTask) bool { return cmpTask(a, b) < 0 }
 
 // guaranteedOrder returns jobs with tracked (SLO) jobs first, then arrival
 // order: admission control promised SLO jobs their guarantees, so they win
@@ -706,19 +776,20 @@ func (c *Cluster) dispatchGuaranteed() {
 		if !jr.arrived || jr.completed {
 			continue
 		}
-		for jr.guaranteedRunning() < c.effectiveGuarantee(jr) && jr.readyLen() > 0 {
+		eff := c.effectiveGuarantee(jr)
+		for jr.guarCount < eff && jr.readyLen() > 0 {
 			r, _ := jr.popReady()
 			mi := c.freeMachineFor(jr, r.stage, r.task)
 			if mi < 0 {
-				victim, vjob := c.youngestSpare()
-				if victim == nil {
+				vs, vjob := c.youngestSpare()
+				if vs < 0 {
 					// Every slot is running guaranteed work; put the task
 					// back for the next scheduling pass.
 					jr.markReady(c.now, r.stage, r.task)
 					return
 				}
-				mi = victim.machine
-				c.evictTask(vjob, victim)
+				mi = int(c.store.machine[vs])
+				c.evictTask(vjob, vs)
 			}
 			c.startTask(jr, r, mi, true)
 		}
@@ -726,27 +797,31 @@ func (c *Cluster) dispatchGuaranteed() {
 }
 
 // youngestSpare finds the most recently started spare task in the cluster —
-// the cheapest one to evict.
-func (c *Cluster) youngestSpare() (*runningTask, *jobRun) {
-	var best *runningTask
+// the cheapest one to evict. Each job's latest-started spare is the max of
+// the tops of its two spare-class max-heaps (spare primaries and speculative
+// duplicates), so the cluster-wide pick costs one comparison per job instead
+// of the full task scan of earlier engines. Ties across jobs cannot break
+// differently from the retired scan: it compared with a strict less, so the
+// first job in c.jobs order kept the pick, exactly as this loop does.
+//
+//jockey:hotpath
+func (c *Cluster) youngestSpare() (int32, *jobRun) {
+	st := &c.store
+	best := int32(-1)
 	var bestJob *jobRun
 	for _, jr := range c.jobs {
 		if !jr.arrived || jr.completed {
 			continue
 		}
-		for _, rt := range jr.running {
-			if rt.guaranteed {
-				continue
-			}
-			if best == nil || lessTask(best, rt) {
-				best, bestJob = rt, jr
-			}
+		cand := int32(-1)
+		if len(jr.spareMax.s) > 0 {
+			cand = jr.spareMax.s[0]
 		}
-		// Speculative duplicates are always spare and the cheapest victims.
-		for _, rt := range jr.dups {
-			if best == nil || lessTask(best, rt) {
-				best, bestJob = rt, jr
-			}
+		if len(jr.dupHeap.s) > 0 && (cand < 0 || st.less(cand, jr.dupHeap.s[0])) {
+			cand = jr.dupHeap.s[0]
+		}
+		if cand >= 0 && (best < 0 || st.less(best, cand)) {
+			best, bestJob = cand, jr
 		}
 	}
 	return best, bestJob
@@ -811,9 +886,16 @@ func (c *Cluster) dispatchSpare() {
 
 // dispatchDuplicate launches a speculative copy of the most-overdue
 // straggler (across speculation-enabled jobs) on the given machine. It
-// returns false if no task qualifies.
+// returns false if no task qualifies. Candidates are every unspeculated
+// running primary, walked through the job's two primary heaps (heap layout
+// order, which is fine: the scan keeps a strict best with deterministic
+// tie-breaks, so the winner is order-independent, exactly as with the
+// retired map walk).
+//
+//jockey:hotpath
 func (c *Cluster) dispatchDuplicate(mi int) bool {
-	var worst *runningTask
+	st := &c.store
+	worst := int32(-1)
 	var worstJob *jobRun
 	var worstRatio float64
 	for _, jr := range c.jobs {
@@ -821,39 +903,49 @@ func (c *Cluster) dispatchDuplicate(mi int) bool {
 		if th <= 0 || !jr.arrived || jr.completed {
 			continue
 		}
-		for key, rt := range jr.running {
-			if _, dup := jr.dups[key]; dup {
-				continue // already speculated
+		for pass := 0; pass < 2; pass++ {
+			h := jr.guarHeap.s
+			if pass == 1 {
+				h = jr.spareMax.s
 			}
-			p90 := jr.stageP90[rt.stage]
-			if p90 <= 0 {
-				continue
-			}
-			elapsed := c.now - rt.execStart
-			ratio := float64(elapsed) / float64(p90)
-			if ratio < th {
-				continue
-			}
-			// Deterministic despite map iteration: strictly-better ratio
-			// wins; exact ties resolve by task identity.
-			if worst == nil || ratio > worstRatio ||
-				(ratio == worstRatio && lessTask(rt, worst)) {
-				worst, worstJob, worstRatio = rt, jr, ratio
+			for _, s := range h {
+				if jr.dupSlot[st.stage[s]][st.task[s]] >= 0 {
+					continue // already speculated
+				}
+				p90 := jr.stageP90[st.stage[s]]
+				if p90 <= 0 {
+					continue
+				}
+				elapsed := c.now - st.execStart[s]
+				ratio := float64(elapsed) / float64(p90)
+				if ratio < th {
+					continue
+				}
+				// Deterministic despite scan order: strictly-better ratio
+				// wins; exact ties resolve by task identity.
+				if worst < 0 || ratio > worstRatio ||
+					(ratio == worstRatio && st.less(s, worst)) {
+					worst, worstJob, worstRatio = s, jr, ratio
+				}
 			}
 		}
 	}
-	if worst == nil {
+	if worst < 0 {
 		return false
 	}
 	c.startDuplicate(worstJob, worst, mi)
 	return true
 }
 
-func (c *Cluster) startDuplicate(jr *jobRun, orig *runningTask, machine int) {
+//jockey:hotpath
+func (c *Cluster) startDuplicate(jr *jobRun, orig int32, machine int) {
 	jr.accrueAlloc(c.now)
-	sp := &jr.p.Stages[orig.stage]
+	st := &c.store
+	stage, task := int(st.stage[orig]), int(st.task[orig])
+	attempt := st.attempt[orig]
+	sp := &jr.p.Stages[stage]
 	initDelay := sp.Queue.Sample(jr.rng)
-	exec := jr.driftExec(orig.stage, sp.Exec.Sample(jr.rng))
+	exec := jr.driftExec(stage, sp.Exec.Sample(jr.rng))
 	if exec <= 0 {
 		exec = time.Millisecond
 	}
@@ -864,30 +956,31 @@ func (c *Cluster) startDuplicate(jr *jobRun, orig *runningTask, machine int) {
 			exec = time.Millisecond
 		}
 	}
-	rt := c.newRunningTask()
-	*rt = runningTask{
-		stage:     orig.stage,
-		task:      orig.task,
-		attempt:   orig.attempt,
-		machine:   machine,
-		startedAt: c.now,
-		execStart: c.now + initDelay,
-		// duplicates are always spare-class
-	}
-	jr.dups[taskKey{orig.stage, orig.task}] = rt
+	s := st.alloc()
+	st.job[s] = int32(jr.id)
+	st.stage[s] = int32(stage)
+	st.task[s] = int32(task)
+	st.attempt[s] = attempt
+	st.machine[s] = int32(machine)
+	st.startedAt[s] = c.now
+	st.execStart[s] = c.now + initDelay
+	st.flags[s] = flagDup // duplicates are always spare-class
+	jr.dupSlot[stage][task] = s
+	st.maxPush(&jr.dupHeap, s)
 	jr.duplicates++
-	c.machines[machine].used++
+	c.attachMachine(machine, s)
 	c.q.Push(c.now+initDelay+exec, event{
 		kind:    evTaskEnd,
 		job:     jr.id,
-		stage:   orig.stage,
-		task:    orig.task,
-		attempt: rt.attempt,
+		stage:   stage,
+		task:    task,
+		attempt: int(attempt),
 		failed:  fails,
 		dup:     true,
 	})
 }
 
+//jockey:hotpath
 func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool) {
 	jr.accrueAlloc(c.now)
 	sp := &jr.p.Stages[r.stage]
@@ -906,25 +999,37 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 			exec = time.Millisecond
 		}
 	}
-	rt := c.newRunningTask()
-	*rt = runningTask{
-		stage:       r.stage,
-		task:        r.task,
-		attempt:     jr.attempts[r.stage][r.task],
-		machine:     machine,
-		startedAt:   c.now,
-		execStart:   c.now + initDelay,
-		guaranteed:  guaranteed,
-		spawnedGuar: guaranteed,
+	st := &c.store
+	s := st.alloc()
+	st.job[s] = int32(jr.id)
+	st.stage[s] = int32(r.stage)
+	st.task[s] = int32(r.task)
+	st.attempt[s] = int32(jr.attempts[r.stage][r.task])
+	st.machine[s] = int32(machine)
+	st.startedAt[s] = c.now
+	st.execStart[s] = c.now + initDelay
+	if guaranteed {
+		st.flags[s] = flagGuar | flagSpawnGuar
+	} else {
+		st.flags[s] = 0
 	}
-	jr.running[taskKey{r.stage, r.task}] = rt
-	c.machines[machine].used++
+	jr.slot[r.stage][r.task] = s
+	if guaranteed {
+		st.maxPush(&jr.guarHeap, s)
+		jr.guarCount++
+	} else {
+		st.maxPush(&jr.spareMax, s)
+		st.minPush(&jr.spareMin, s)
+	}
+	jr.liveRunning++
+	c.totalRunning++
+	c.attachMachine(machine, s)
 	c.q.Push(c.now+initDelay+exec, event{
 		kind:    evTaskEnd,
 		job:     jr.id,
 		stage:   r.stage,
 		task:    r.task,
-		attempt: rt.attempt,
+		attempt: int(st.attempt[s]),
 		failed:  fails,
 	})
 }

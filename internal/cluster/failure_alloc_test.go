@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/profile"
+	"github.com/jockeysim/jockey/internal/stats"
+)
+
+// TestMachineFailureZeroAllocs pins the failure path to zero steady-state
+// allocations: picking the victim machine (bitset select, not a rebuilt
+// slice), collecting and sorting its tasks (intrusive list + insertion
+// sort, not per-job map scans), evicting them, and rescheduling must all
+// run on pre-grown state. At cosmos scale failures fire constantly, so a
+// single allocation per failure shows up as GC pressure across a replay.
+func TestMachineFailureZeroAllocs(t *testing.T) {
+	job := dag.NewBuilder("failbg").Stage("work", 40).MustBuild()
+	p := profile.MustNew(job, []profile.StageProfile{
+		{Exec: stats.Point{V: 2 * time.Hour}}, // outlives the whole test: tasks only leave by eviction
+	})
+	cfg := Config{
+		Machines:        8,
+		SlotsPerMachine: 4,
+		Seed:            7,
+		MachineRecovery: stats.Point{V: 2 * time.Minute},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(JobConfig{Profile: p, Guarantee: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch the job without entering Run (the job never completes, so Run
+	// would never return): the arrival handler performs the initial
+	// scheduling pass that fills the cluster with running tasks.
+	c.handleArrival(0)
+	if c.totalRunning == 0 {
+		t.Fatal("no tasks running after arrival")
+	}
+	keep := c.q.Len()
+	cycle := func() {
+		c.handleMachineFail()
+		// Bring every machine back immediately so each iteration sees a full
+		// cluster of victims, and drain the events this cycle queued (the
+		// stale ends of evicted attempts plus our own bookkeeping) so the
+		// queue cannot grow — and hence cannot reallocate — across runs.
+		for mi := range c.mUsed {
+			if !c.upBits.get(mi) && c.mDown[mi] > c.now {
+				c.now = c.mDown[mi]
+			}
+		}
+		for mi := range c.mUsed {
+			if !c.upBits.get(mi) {
+				c.handleMachineRecover(mi)
+			}
+		}
+		for c.q.Len() > keep {
+			c.q.Pop()
+		}
+	}
+	for i := 0; i < 300; i++ {
+		cycle() // warm the scratch buffers, free lists, and queue capacity
+	}
+	if avg := testing.AllocsPerRun(20, cycle); avg != 0 {
+		t.Errorf("machine failure allocates %.1f times per event, want 0", avg)
+	}
+}

@@ -150,8 +150,8 @@ func TestOverlappingOutagesExtendDowntime(t *testing.T) {
 	}
 	// Machine 0's first outage (until 3m30s) outlives the second outage's
 	// recovery (1m30s): the early recover event must have been ignored.
-	if c.machines[0].downUntil != 30*time.Second+3*time.Minute {
-		t.Fatalf("machine 0 downUntil = %v, want 3m30s", c.machines[0].downUntil)
+	if c.mDown[0] != 30*time.Second+3*time.Minute {
+		t.Fatalf("machine 0 downUntil = %v, want 3m30s", c.mDown[0])
 	}
 }
 

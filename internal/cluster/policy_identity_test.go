@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/jockeysim/jockey/internal/eventq"
+)
+
+// TestEventPolicyByteIdentical is the gating smoke test for the calendar
+// queue: a mid-size replay (1k machines, ~20k concurrent tasks — large
+// enough that PolicyAuto would promote, and every scheduler path fires) must
+// produce byte-identical results and utilization whichever storage regime
+// serves the event queue. (time, seq) is a strict total order, so any
+// difference means the calendar reordered events.
+func TestEventPolicyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size replay is ~100ms per policy; skipped in -short")
+	}
+	p := newLargeProfiles(t, midScale)
+	replay := func(pol eventq.Policy) string {
+		cfg := midScale.config()
+		cfg.EventPolicy = pol
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.run(t, c, midScale)
+		return fmt.Sprintf("%+v util=%.17g", res, c.Utilization())
+	}
+	heap := replay(eventq.PolicyHeap)
+	cal := replay(eventq.PolicyCalendar)
+	auto := replay(eventq.PolicyAuto)
+	if heap != cal {
+		t.Errorf("heap and calendar replays diverge:\n heap: %.300s\n  cal: %.300s", heap, cal)
+	}
+	if heap != auto {
+		t.Errorf("heap and auto replays diverge:\n heap: %.300s\n auto: %.300s", heap, auto)
+	}
+}
+
+// TestEventPolicyIdenticalOnEngine repeats the identity check across Engine
+// reuse: a reused engine replaying under the calendar must match a fresh
+// cluster replaying under the heap (the two axes of state reuse compose).
+func TestEventPolicyIdenticalOnEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size replay is ~100ms per policy; skipped in -short")
+	}
+	p := newLargeProfiles(t, midScale)
+	cfgHeap := midScale.config()
+	cfgHeap.EventPolicy = eventq.PolicyHeap
+	fresh, err := New(cfgHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%+v util=%.17g", p.run(t, fresh, midScale), fresh.Utilization())
+
+	cfgCal := midScale.config()
+	cfgCal.EventPolicy = eventq.PolicyCalendar
+	eng := NewEngine()
+	for i := 0; i < 2; i++ {
+		c, err := eng.Reset(cfgCal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%+v util=%.17g", p.run(t, c, midScale), c.Utilization())
+		if got != want {
+			t.Errorf("reused-engine calendar replay %d diverges from fresh heap replay:\n want: %.300s\n  got: %.300s",
+				i, want, got)
+		}
+	}
+}

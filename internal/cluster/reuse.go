@@ -15,9 +15,10 @@ import (
 //     whose plans are themselves reused across runs (workload.BackgroundPool,
 //     the experiment jobs A..G, the surge tenant) stops allocating per-job
 //     state after the first run;
-//   - runningTask records go through a free list;
-//   - the event queue, machine table, and utilization samples keep their
-//     capacity across Reset.
+//   - task-attempt state lives in the cluster's taskStore (store.go), whose
+//     flat arrays and free list keep their capacity across Reset;
+//   - the event queue, machine arrays, and class heaps keep their capacity
+//     across Reset.
 //
 // A reset engine is bit-identical in behavior to cluster.New with the same
 // Config: RNG reseeding reproduces fresh streams, and pooled state is fully
@@ -29,7 +30,6 @@ import (
 type Engine struct {
 	c      Cluster
 	arenas map[*dag.Job][]*jobRun
-	freeRT []*runningTask
 }
 
 // NewEngine returns an empty reusable engine.
@@ -54,18 +54,11 @@ func (e *Engine) Reset(cfg Config) (*Cluster, error) {
 	return &e.c, nil
 }
 
-// recycle returns a jobRun's arena to the pool, releasing any still-running
-// task records (background jobs may be mid-flight when the last tracked job
-// completes and Run returns).
+// recycle returns a jobRun's arena to the pool. Still-running attempt slots
+// (background jobs may be mid-flight when the last tracked job completes and
+// Run returns) need no per-job release: the whole taskStore resets with the
+// cluster.
 func (e *Engine) recycle(jr *jobRun) {
-	for k, rt := range jr.running {
-		e.freeRT = append(e.freeRT, rt)
-		delete(jr.running, k)
-	}
-	for k, rt := range jr.dups {
-		e.freeRT = append(e.freeRT, rt)
-		delete(jr.dups, k)
-	}
 	// Drop per-run references that would otherwise pin profiles, policies,
 	// and callbacks in memory between runs.
 	jr.cfg = JobConfig{}
@@ -86,30 +79,4 @@ func (e *Engine) takeArena(job *dag.Job) *jobRun {
 	jr := s[len(s)-1]
 	e.arenas[job] = s[:len(s)-1]
 	return jr
-}
-
-// newRunningTask hands out a running-task record, from the engine free list
-// when one is available. The caller overwrites every field.
-//
-//jockey:hotpath
-func (c *Cluster) newRunningTask() *runningTask {
-	if c.eng != nil {
-		if n := len(c.eng.freeRT); n > 0 {
-			rt := c.eng.freeRT[n-1]
-			c.eng.freeRT = c.eng.freeRT[:n-1]
-			return rt
-		}
-	}
-	return &runningTask{} //jockeyvet:ignore hotalloc free-list miss: one record per concurrent task, then steady-state reuse
-}
-
-// freeRunningTask releases a record after it has been removed from its
-// running/dups map and is no longer referenced. Each record is freed at
-// exactly one site: the event handler that removed it.
-//
-//jockey:hotpath
-func (c *Cluster) freeRunningTask(rt *runningTask) {
-	if c.eng != nil {
-		c.eng.freeRT = append(c.eng.freeRT, rt)
-	}
 }

@@ -5,14 +5,27 @@
 // Events are ordered by time; ties are broken by insertion sequence so that
 // simulations are reproducible regardless of heap internals.
 //
-// The queue is a hand-rolled binary heap rather than a container/heap
-// adapter: the stdlib interface moves every element through `any`, which
-// boxes one allocation per Push. Because (time, seq) is a total order, the
-// pop sequence is identical to the container/heap implementation it
-// replaced (pinned by the randomized equivalence test in eventq_test.go);
-// only the allocation per event is gone. This matters because the queue
-// sits on the simulator's innermost loop: one Push+Pop per task attempt,
-// millions per C(p, a) table build.
+// The queue has two storage regimes behind one interface:
+//
+//   - a hand-rolled binary heap (the reference implementation), used below
+//     calendarPromoteLen. It replaced a container/heap adapter: the stdlib
+//     interface moves every element through `any`, which boxes one
+//     allocation per Push. This matters because the queue sits on the
+//     simulator's innermost loop: one Push+Pop per task attempt, millions
+//     per C(p, a) table build.
+//   - a bucketed calendar queue (calendar.go) with heap-ordered buckets,
+//     promoted to automatically when the queue grows past
+//     calendarPromoteLen — O(1) amortized push/pop at the event densities a
+//     Cosmos-scale replay produces (10⁵–10⁶ queued events), where the
+//     heap's log n cache-missing comparisons dominate.
+//
+// Because (time, seq) is a strict total order, the pop sequence is fully
+// determined by the push sequence and is identical across the heap, the
+// calendar, and the old container/heap adapter (pinned by the randomized
+// differential tests in eventq_ref_test.go, including a 10⁵-event run).
+// Which regime serves an operation is a pure function of the operation
+// history, so replays are bit-identical whether or not promotion happens —
+// and SetPolicy can force either regime for differential testing.
 package eventq
 
 import (
@@ -25,10 +38,70 @@ type item[T any] struct {
 	v   T
 }
 
+// Policy selects the queue's storage regime.
+type Policy int8
+
+const (
+	// PolicyAuto (the zero value) starts on the reference heap and promotes
+	// to the calendar queue when Len reaches calendarPromoteLen. Promotion
+	// never changes the pop sequence; small queues keep the heap's lower
+	// constant overhead.
+	PolicyAuto Policy = iota
+	// PolicyHeap pins the reference binary heap.
+	PolicyHeap
+	// PolicyCalendar pins the calendar queue regardless of size.
+	PolicyCalendar
+)
+
+// calendarPromoteLen is the PolicyAuto promotion threshold. Replays sized
+// like the paper's Table 2 experiments stay well below it (the heap is
+// faster there); a 10k-machine replay crosses it during the first arrival
+// burst.
+const calendarPromoteLen = 4096
+
 // Queue is a time-ordered event queue. The zero value is ready to use.
 type Queue[T any] struct {
-	h   []item[T]
-	seq uint64
+	h     []item[T]
+	seq   uint64
+	pol   Policy
+	onCal bool
+	cal   calendar[T]
+}
+
+// SetPolicy selects the storage regime, migrating any queued events. The
+// pop order is identical under any policy; only performance differs. It is
+// not reset by Reset.
+func (q *Queue[T]) SetPolicy(p Policy) {
+	q.pol = p
+	switch {
+	case p == PolicyCalendar && !q.onCal:
+		q.promote()
+	case p == PolicyHeap && q.onCal:
+		q.demote()
+	}
+}
+
+// promote moves every queued event from the heap into the calendar. Items
+// keep their (at, seq) keys, so the pop sequence is unchanged.
+func (q *Queue[T]) promote() {
+	q.cal.rebuild(q.h)
+	clear(q.h)
+	q.h = q.h[:0]
+	q.onCal = true
+}
+
+// demote moves every queued event from the calendar back onto the heap.
+func (q *Queue[T]) demote() {
+	for i := range q.cal.buckets {
+		q.h = append(q.h, q.cal.buckets[i]...)
+	}
+	q.cal.reset()
+	// Heapify bottom-up; order is (at, seq), so the layout the sifts
+	// produce does not affect the pop sequence.
+	for i := len(q.h)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+	q.onCal = false
 }
 
 // less orders the heap by (time, insertion sequence). seq values are unique,
@@ -49,8 +122,15 @@ func (q *Queue[T]) less(i, j int) bool {
 //jockey:hotpath
 func (q *Queue[T]) Push(at time.Duration, v T) {
 	q.seq++
+	if q.onCal {
+		q.cal.push(item[T]{at: at, seq: q.seq, v: v})
+		return
+	}
 	q.h = append(q.h, item[T]{at: at, seq: q.seq, v: v})
 	q.up(len(q.h) - 1)
+	if q.pol == PolicyAuto && len(q.h) >= calendarPromoteLen {
+		q.promote()
+	}
 }
 
 // Pop removes and returns the earliest event. ok is false if the queue is
@@ -58,6 +138,10 @@ func (q *Queue[T]) Push(at time.Duration, v T) {
 //
 //jockey:hotpath
 func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
+	if q.onCal {
+		it, ok := q.cal.pop()
+		return it.at, it.v, ok
+	}
 	if len(q.h) == 0 {
 		var zero T
 		return 0, zero, false
@@ -77,6 +161,9 @@ func (q *Queue[T]) Pop() (at time.Duration, v T, ok bool) {
 //
 //jockey:hotpath
 func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
+	if q.onCal {
+		return q.cal.peek()
+	}
 	if len(q.h) == 0 {
 		return 0, false
 	}
@@ -86,7 +173,12 @@ func (q *Queue[T]) Peek() (at time.Duration, ok bool) {
 // Len returns the number of queued events.
 //
 //jockey:hotpath
-func (q *Queue[T]) Len() int { return len(q.h) }
+func (q *Queue[T]) Len() int {
+	if q.onCal {
+		return q.cal.n
+	}
+	return len(q.h)
+}
 
 // Reset empties the queue in place, keeping the backing array so a reused
 // queue (sim.Runner runs thousands of simulations on one queue) reaches its
@@ -98,7 +190,9 @@ func (q *Queue[T]) Len() int { return len(q.h) }
 func (q *Queue[T]) Reset() {
 	clear(q.h) // drop references held by T
 	q.h = q.h[:0]
+	q.cal.reset()
 	q.seq = 0
+	q.onCal = q.pol == PolicyCalendar
 }
 
 // up restores the heap property from index i toward the root.

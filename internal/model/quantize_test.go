@@ -1,0 +1,117 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"github.com/jockeysim/jockey/internal/progress"
+	"github.com/jockeysim/jockey/internal/utility"
+)
+
+// buildQuantPair builds the same table twice — exact and quantized — from
+// one config, so tests can compare query-for-query.
+func buildQuantPair(t testing.TB, allocs []int) (exact, quant *CPA) {
+	t.Helper()
+	p := noisyProfile(t)
+	cfg := CPAConfig{
+		Allocs:       allocs,
+		RunsPerAlloc: 6,
+		SampleEvery:  10 * time.Second,
+		Seed:         42,
+	}
+	var err error
+	exact, err = BuildCPA(p, progress.NewTotalWorkWithQ(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quantize = true
+	quant, err = BuildCPA(p, progress.NewTotalWorkWithQ(p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exact, quant
+}
+
+// TestQuantizedCellStructure pins the storage contract: a quantized table
+// drops its Duration cells entirely and mirrors the exact table's per-cell
+// sample counts (truncation never removes or reorders samples).
+func TestQuantizedCellStructure(t *testing.T) {
+	exact, quant := buildQuantPair(t, []int{2, 8, 20})
+	if quant.cells != nil {
+		t.Fatal("quantized table retains Duration cells")
+	}
+	if quant.quant == nil {
+		t.Fatal("quantized table has no fixed-point cells")
+	}
+	for ai := range exact.cells {
+		for b := range exact.cells[ai] {
+			ne := len(exact.cells[ai][b].Values())
+			nq := len(quant.quant[ai][b])
+			if ne != nq {
+				t.Fatalf("cell (%d,%d): exact holds %d samples, quantized %d", ai, b, ne, nq)
+			}
+			for i, v := range exact.cells[ai][b].Values() {
+				want := int32(v / time.Millisecond)
+				if quant.quant[ai][b][i] != want {
+					t.Fatalf("cell (%d,%d)[%d] = %dms, want %dms", ai, b, i, quant.quant[ai][b][i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedRemainingWithinResolution checks that every Remaining query
+// agrees with the exact table to within the 1ms cell resolution, across
+// progress, allocation, and quantile.
+func TestQuantizedRemainingWithinResolution(t *testing.T) {
+	exact, quant := buildQuantPair(t, []int{2, 8, 20})
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, a := range []int{2, 8, 20} {
+			for _, q := range []float64{0, 0.5, 0.9, 1} {
+				st := State{FracDone: []float64{frac, frac}}
+				re := exact.Remaining(st, a, q)
+				rq := quant.Remaining(st, a, q)
+				diff := re - rq
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > time.Millisecond {
+					t.Errorf("Remaining(p=%.2f, a=%d, q=%.1f): exact %v, quantized %v (Δ %v)",
+						frac, a, q, re, rq, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedExpectedUtility checks the utility integral stays within the
+// tolerance a 1ms-per-sample perturbation can introduce.
+func TestQuantizedExpectedUtility(t *testing.T) {
+	exact, quant := buildQuantPair(t, []int{2, 8, 20})
+	u := utility.Deadline(10 * time.Minute)
+	st := State{Elapsed: time.Minute, FracDone: []float64{0.5, 0}}
+	ue := exact.ExpectedUtility(st, 8, 1.2, u)
+	uq := quant.ExpectedUtility(st, 8, 1.2, u)
+	diff := ue - uq
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-3 {
+		t.Errorf("ExpectedUtility: exact %v, quantized %v (Δ %v)", ue, uq, diff)
+	}
+}
+
+// TestQuantizedQueryZeroAllocs pins the quantized query path to zero
+// allocations, same as the exact path.
+func TestQuantizedQueryZeroAllocs(t *testing.T) {
+	_, quant := buildQuantPair(t, []int{2, 8, 20})
+	st := State{Elapsed: time.Minute, FracDone: []float64{0.5, 0}}
+	u := utility.Deadline(10 * time.Minute)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = quant.Remaining(st, 8, 0.9)
+		_ = quant.ExpectedUtility(st, 8, 1.2, u)
+	})
+	if allocs != 0 {
+		t.Errorf("quantized query allocates %.1f per run, want 0", allocs)
+	}
+}

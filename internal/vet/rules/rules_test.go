@@ -51,6 +51,14 @@ func TestHotAlloc(t *testing.T) {
 	vettest.Run(t, "testdata/hotalloc/hot", rules.HotAlloc)
 }
 
+// TestHotAllocCalendarQueue runs the gate over bucketed calendar-queue
+// idiom (internal/eventq's hot-path shape): amortized appends into
+// queue-owned bucket slices must pass, while per-push slice rebuilds,
+// boxing, and debug formatting are flagged.
+func TestHotAllocCalendarQueue(t *testing.T) {
+	vettest.Run(t, "testdata/hotalloc/calq", rules.HotAlloc)
+}
+
 // TestSeedFlowHotAllocInteraction runs both analyzers over one fixture
 // where single lines violate both rules, pinning that a scoped
 // //jockeyvet:ignore suppresses exactly the named analyzer.

@@ -1,0 +1,71 @@
+// Fixture: hotalloc over calendar-queue idiom — the bucketed event-queue
+// shapes internal/eventq's hot paths use. Pushes route items into per-bucket
+// slices owned by the queue struct (allowed: amortized appends to struct
+// fields, indexed bucket access), while the tempting shortcuts — rebuilding
+// a bucket slice per push, boxing items through any, formatting debug keys —
+// are exactly what the gate must flag.
+package calq
+
+import "fmt"
+
+type entry struct {
+	at  int64
+	seq uint64
+}
+
+type calq struct {
+	buckets [][]entry
+	width   int64
+	n       int
+}
+
+//jockey:hotpath
+func (q *calq) push(e entry) {
+	// Allowed: the bucket array is owned by the queue; append amortizes into
+	// its standing capacity, and index expressions allocate nothing.
+	b := int(e.at/q.width) % len(q.buckets)
+	q.buckets[b] = append(q.buckets[b], e)
+	q.n++
+}
+
+//jockey:hotpath
+func (q *calq) take(b int) []entry {
+	// Allowed: reslicing in place and handing back a view.
+	out := q.buckets[b]
+	q.buckets[b] = q.buckets[b][:0]
+	return out
+}
+
+//jockey:hotpath
+func (q *calq) pushFresh(e entry) {
+	fresh := []entry{e}   // want `slice literal allocates`
+	local := []entry(nil) //
+	local = append(local, e) // want `append to a local slice allocates`
+	q.buckets[0] = append(q.buckets[0], local...)
+	q.buckets[1] = append(q.buckets[1], fresh...)
+}
+
+//jockey:hotpath
+func (q *calq) resize(nb int) {
+	q.buckets = make([][]entry, nb) // want `make allocates`
+}
+
+//jockey:hotpath
+func (q *calq) debugKey(e entry) string {
+	return fmt.Sprintf("%d@%d", e.seq, e.at) // want `fmt.Sprintf allocates`
+}
+
+//jockey:hotpath
+func (q *calq) box(e entry) any {
+	var v any = e // want `boxes it`
+	return v
+}
+
+// resize outside an annotated body is fine: promotion/rebuild paths are
+// cold and may allocate freely.
+func (q *calq) coldRebuild(nb int) {
+	q.buckets = make([][]entry, nb)
+	for i := range q.buckets {
+		q.buckets[i] = make([]entry, 0, 4)
+	}
+}

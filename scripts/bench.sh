@@ -19,6 +19,10 @@
 #   fleet — fleet-arbiter benchmarks (one full multi-job replay per
 #   iteration, models and engine warmed outside the timed loop):
 #     internal/fleet: BenchmarkFleetReplay
+#   largecluster — cosmos-scale engine benchmarks (the PR-9 scale contract;
+#   one iteration replays a full multi-hour horizon, so counts are fixed):
+#     internal/cluster: BenchmarkEngineLargeCluster (10k machines, ≥1e5 tasks)
+#     internal/cluster: BenchmarkEngineMidCluster   (1/10 scale trend line)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,14 +44,18 @@ simcore)
   run . 'BenchmarkSimulatorThroughput'
   ;;
 grid)
-  run ./internal/cluster 'BenchmarkEngine' "${BENCHTIME:-1x}"
+  run ./internal/cluster 'BenchmarkEngine(Fresh|Reuse)$' "${BENCHTIME:-1x}"
   run ./internal/experiments 'BenchmarkGrid' "${BENCHTIME:-1x}"
   ;;
 fleet)
   run ./internal/fleet 'BenchmarkFleet' "${BENCHTIME:-5x}"
   ;;
+largecluster)
+  run ./internal/cluster 'BenchmarkEngineMidCluster$' "${BENCHTIME:-3x}"
+  run ./internal/cluster 'BenchmarkEngineLargeCluster$' "${BENCHTIME:-3x}"
+  ;;
 *)
-  echo "bench.sh: unknown suite '$SUITE' (want simcore, grid or fleet)" >&2
+  echo "bench.sh: unknown suite '$SUITE' (want simcore, grid, fleet or largecluster)" >&2
   exit 2
   ;;
 esac

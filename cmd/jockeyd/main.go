@@ -91,8 +91,10 @@ func main() {
 	}
 	if *verbose {
 		cfg.OnEpoch = func(s fleet.EpochStats) {
-			fmt.Fprintf(os.Stderr, "[%8s] active %2d granted %3d/%-3d deferred %d rejected %d latched %d\n",
-				s.At.Truncate(time.Second), s.Active, s.Granted, s.Budget, s.Deferred, s.Rejected, s.Latched)
+			// bidders/heapops expose the arbiter's per-epoch cost (the
+			// fleet-scale contract: heap ops stay linear in active jobs).
+			fmt.Fprintf(os.Stderr, "[%8s] active %2d granted %3d/%-3d deferred %d rejected %d latched %d bidders %d heapops %d\n",
+				s.At.Truncate(time.Second), s.Active, s.Granted, s.Budget, s.Deferred, s.Rejected, s.Latched, s.Bidders, s.HeapOps)
 		}
 	}
 

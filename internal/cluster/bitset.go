@@ -12,11 +12,18 @@ import (
 type bitset struct {
 	words []uint64
 	sum   []uint64
+	// hint is a first() cursor: the invariant is that no bit below hint is
+	// set, so a scan can start there instead of at zero. set() lowers it,
+	// first() advances it past the zeros it just proved. Placing an arrival
+	// burst of k tasks is then one forward pass over the machine words
+	// instead of k scans from the origin.
+	hint int
 }
 
 // init sizes the set for n bits and fills it (all true or all false),
 // keeping the backing arrays across reuse.
 func (b *bitset) init(n int, all bool) {
+	b.hint = 0
 	nw := (n + 63) / 64
 	ns := (nw + 63) / 64
 	if cap(b.words) < nw {
@@ -49,6 +56,9 @@ func (b *bitset) set(i int) {
 	w := i >> 6
 	b.words[w] |= 1 << (uint(i) & 63)
 	b.sum[w>>6] |= 1 << (uint(w) & 63)
+	if i < b.hint {
+		b.hint = i
+	}
 }
 
 //jockey:hotpath
@@ -65,17 +75,26 @@ func (b *bitset) get(i int) bool {
 	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
-// first returns the lowest set bit, or -1 when the set is empty.
+// first returns the lowest set bit, or -1 when the set is empty. The scan
+// starts at the hint cursor (everything below it is provably zero) and
+// leaves the cursor on the bit it found — or past the end when the set is
+// empty — so a placement sweep that repeatedly asks for the lowest free
+// machine walks the words once, not once per ask. clear() never has to
+// touch the cursor: clearing bits cannot make anything below it set.
 //
 //jockey:hotpath
 func (b *bitset) first() int {
-	for si, sw := range b.sum {
+	for si := b.hint >> 12; si < len(b.sum); si++ {
+		sw := b.sum[si]
 		if sw == 0 {
 			continue
 		}
 		w := si<<6 + bits.TrailingZeros64(sw)
-		return w<<6 + bits.TrailingZeros64(b.words[w])
+		i := w<<6 + bits.TrailingZeros64(b.words[w])
+		b.hint = i
+		return i
 	}
+	b.hint = len(b.words) << 6
 	return -1
 }
 

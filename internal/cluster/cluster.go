@@ -346,6 +346,14 @@ type Cluster struct {
 	tracked int // tracked jobs not yet completed
 	holds   int // open Hold()s keeping Run alive (the fleet arbiter's latch)
 
+	// live indexes the jobs every scheduling pass actually iterates: arrived
+	// and not yet completed, kept in job-id (submission) order so dispatch
+	// tie-breaks match the full c.jobs scans of earlier engines exactly. A
+	// fleet replay admits thousands of jobs over one cluster's lifetime;
+	// without this index each reschedule pays O(admitted) even when a
+	// handful of jobs are running.
+	live []*jobRun
+
 	// Machine state is struct-of-arrays, indexed by machine id. Every
 	// machine has cfg.SlotsPerMachine slots; up/available membership lives
 	// in the two bitsets so the dispatchers never scan the fleet:
@@ -390,6 +398,14 @@ type Cluster struct {
 	scratchSlots    []int32
 	scratchJobs     []*jobRun
 	scratchReplicas []int
+
+	// endBatch buffers the task-end events of one scheduling pass so they
+	// are bulk-pushed (eventq.PushBatch) when the pass finishes: an arrival
+	// burst that dispatches k tasks pays one amortized queue insert instead
+	// of k sifts. No other event is pushed while a pass runs, so the batch
+	// gets the same insertion sequences the per-task pushes got and the
+	// replay is bit-identical.
+	endBatch []eventq.Entry[event]
 }
 
 // New creates an empty cluster.
@@ -422,6 +438,15 @@ func (c *Cluster) init(cfg Config) error {
 	c.tracked = 0
 	c.holds = 0
 	c.jobs = c.jobs[:0] // arenas were recycled by Engine.Reset
+	c.live = c.live[:0]
+	// One scheduling pass can start at most a task per slot, so sizing the
+	// batch buffer to cluster capacity up front turns the first dispatch
+	// wave's append chain (hundreds of MB of doubling copies at 5e5 slots)
+	// into a single exact allocation that Reset then reuses.
+	if want := cfg.Machines * cfg.SlotsPerMachine; cap(c.endBatch) < want {
+		c.endBatch = make([]eventq.Entry[event], 0, want)
+	}
+	c.endBatch = c.endBatch[:0]
 	c.store.reset()
 	c.totalRunning = 0
 	c.busySecs = 0

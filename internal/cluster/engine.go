@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/jockeysim/jockey/internal/dag"
+	"github.com/jockeysim/jockey/internal/eventq"
 	"github.com/jockeysim/jockey/internal/invariant"
 	"github.com/jockeysim/jockey/internal/model"
 	"github.com/jockeysim/jockey/internal/stats"
@@ -136,6 +137,7 @@ func (c *Cluster) handleArrival(id int) {
 	jr.arrived = true
 	jr.start = c.now
 	jr.lastAllocAt = c.now
+	c.liveAdd(jr)
 	if jr.cfg.Tracked && !jr.cfg.NoTrace {
 		// Traces outlive the run (results retain them), so they are always
 		// freshly allocated, never pooled.
@@ -433,9 +435,30 @@ func (c *Cluster) recordAttempt(jr *jobRun, s int32, ended time.Duration, failed
 	}
 }
 
+// liveAdd inserts an arriving job into the live index, keeping job-id order
+// (arrival events can fire out of submission order when Start times differ).
+func (c *Cluster) liveAdd(jr *jobRun) {
+	c.live = append(c.live, jr)
+	for i := len(c.live) - 1; i > 0 && c.live[i-1].id > jr.id; i-- {
+		c.live[i], c.live[i-1] = c.live[i-1], c.live[i]
+	}
+}
+
+// liveRemove drops a completed job from the live index. O(live), once per
+// job lifetime.
+func (c *Cluster) liveRemove(jr *jobRun) {
+	for i, other := range c.live {
+		if other == jr {
+			c.live = append(c.live[:i], c.live[i+1:]...)
+			return
+		}
+	}
+}
+
 func (c *Cluster) completeJob(jr *jobRun) {
 	jr.accrueAlloc(c.now)
 	jr.completed = true
+	c.liveRemove(jr)
 	jr.setGuarantee(c.now, 0)
 	completion := c.now - jr.start
 	totalWork := jr.p.TotalWork()
@@ -686,11 +709,19 @@ func (c *Cluster) freeMachine() int {
 
 // reschedule enforces the token-sharing policy: reclassify running tasks,
 // satisfy guaranteed demand (evicting spare tasks when necessary), then
-// hand out spare capacity round-robin.
+// hand out spare capacity round-robin. Every task dispatched by the pass
+// buffered its end event; the bulk push at the end amortizes one queue
+// restructure over the whole dispatch wave (and assigns the exact insertion
+// sequences the per-task pushes would have, since nothing else pushes
+// mid-pass).
 func (c *Cluster) reschedule() {
 	c.reclassify()
 	c.dispatchGuaranteed()
 	c.dispatchSpare()
+	if len(c.endBatch) > 0 {
+		c.q.PushBatch(c.endBatch)
+		c.endBatch = c.endBatch[:0]
+	}
 }
 
 // reclassify restores, per job, the invariant that the guaranteed class is
@@ -712,8 +743,8 @@ func (c *Cluster) reschedule() {
 //jockey:hotpath
 func (c *Cluster) reclassify() {
 	st := &c.store
-	for _, jr := range c.jobs {
-		if !jr.arrived || jr.completed || jr.liveRunning == 0 {
+	for _, jr := range c.live {
+		if jr.liveRunning == 0 {
 			continue
 		}
 		target := c.effectiveGuarantee(jr)
@@ -752,17 +783,18 @@ func (c *Cluster) reclassify() {
 	}
 }
 
-// guaranteedOrder returns jobs with tracked (SLO) jobs first, then arrival
-// order: admission control promised SLO jobs their guarantees, so they win
-// when guarantees are over-subscribed.
+// guaranteedOrder returns the live jobs with tracked (SLO) jobs first, then
+// arrival order: admission control promised SLO jobs their guarantees, so
+// they win when guarantees are over-subscribed. Only live jobs are walked —
+// completed and not-yet-arrived jobs were skipped by the dispatcher anyway.
 func (c *Cluster) guaranteedOrder() []*jobRun {
 	out := c.scratchJobs[:0]
-	for _, jr := range c.jobs {
+	for _, jr := range c.live {
 		if jr.cfg.Tracked {
 			out = append(out, jr)
 		}
 	}
-	for _, jr := range c.jobs {
+	for _, jr := range c.live {
 		if !jr.cfg.Tracked {
 			out = append(out, jr)
 		}
@@ -773,9 +805,6 @@ func (c *Cluster) guaranteedOrder() []*jobRun {
 
 func (c *Cluster) dispatchGuaranteed() {
 	for _, jr := range c.guaranteedOrder() {
-		if !jr.arrived || jr.completed {
-			continue
-		}
 		eff := c.effectiveGuarantee(jr)
 		for jr.guarCount < eff && jr.readyLen() > 0 {
 			r, _ := jr.popReady()
@@ -809,10 +838,7 @@ func (c *Cluster) youngestSpare() (int32, *jobRun) {
 	st := &c.store
 	best := int32(-1)
 	var bestJob *jobRun
-	for _, jr := range c.jobs {
-		if !jr.arrived || jr.completed {
-			continue
-		}
+	for _, jr := range c.live {
 		cand := int32(-1)
 		if len(jr.spareMax.s) > 0 {
 			cand = jr.spareMax.s[0]
@@ -828,7 +854,7 @@ func (c *Cluster) youngestSpare() (int32, *jobRun) {
 }
 
 func (c *Cluster) dispatchSpare() {
-	if len(c.jobs) == 0 {
+	if len(c.live) == 0 {
 		return
 	}
 	idle := 0
@@ -844,8 +870,8 @@ func (c *Cluster) dispatchSpare() {
 		// to its weight (the cluster's weighted fair sharing).
 		eligible := c.scratchJobs[:0]
 		totalWeight := 0.0
-		for _, jr := range c.jobs {
-			if !jr.arrived || jr.completed || jr.cfg.NoSpare || jr.readyLen() == 0 {
+		for _, jr := range c.live {
+			if jr.cfg.NoSpare || jr.readyLen() == 0 {
 				continue
 			}
 			eligible = append(eligible, jr)
@@ -898,9 +924,9 @@ func (c *Cluster) dispatchDuplicate(mi int) bool {
 	worst := int32(-1)
 	var worstJob *jobRun
 	var worstRatio float64
-	for _, jr := range c.jobs {
+	for _, jr := range c.live {
 		th := jr.cfg.SpeculativeThreshold
-		if th <= 0 || !jr.arrived || jr.completed {
+		if th <= 0 {
 			continue
 		}
 		for pass := 0; pass < 2; pass++ {
@@ -969,7 +995,7 @@ func (c *Cluster) startDuplicate(jr *jobRun, orig int32, machine int) {
 	st.maxPush(&jr.dupHeap, s)
 	jr.duplicates++
 	c.attachMachine(machine, s)
-	c.q.Push(c.now+initDelay+exec, event{
+	c.endBatch = append(c.endBatch, eventq.Entry[event]{At: c.now + initDelay + exec, V: event{
 		kind:    evTaskEnd,
 		job:     jr.id,
 		stage:   stage,
@@ -977,7 +1003,7 @@ func (c *Cluster) startDuplicate(jr *jobRun, orig int32, machine int) {
 		attempt: int(attempt),
 		failed:  fails,
 		dup:     true,
-	})
+	}})
 }
 
 //jockey:hotpath
@@ -1024,14 +1050,14 @@ func (c *Cluster) startTask(jr *jobRun, r taskRef, machine int, guaranteed bool)
 	jr.liveRunning++
 	c.totalRunning++
 	c.attachMachine(machine, s)
-	c.q.Push(c.now+initDelay+exec, event{
+	c.endBatch = append(c.endBatch, eventq.Entry[event]{At: c.now + initDelay + exec, V: event{
 		kind:    evTaskEnd,
 		job:     jr.id,
 		stage:   r.stage,
 		task:    r.task,
 		attempt: int(st.attempt[s]),
 		failed:  fails,
-	})
+	}})
 }
 
 // driftExec applies the stage's current runtime-drift factor to a sampled

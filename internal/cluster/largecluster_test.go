@@ -36,10 +36,23 @@ var cosmosScale = largeScale{
 // midScale is cosmosScale shrunk 10x along both axes.
 var midScale = largeScale{
 	machines: 1000, slots: 10,
-	bgTasks: 12000, bg2Tasks: 6000,
 	fgMap: 2000, fgReduce: 400,
+	bgTasks: 12000, bg2Tasks: 6000,
 	bgGuar: 5000, bg2Guar: 2500, fgGuar: 2000,
 	mtbf: 200 * time.Hour,
+}
+
+// hugeScale is the arrival-burst regime (ROADMAP item 3's leftover): 25k
+// machines × 20 slots = 5e5 tokens, with enough queued background work that
+// the cluster stays saturated — ≥5e5 concurrent tasks once the burst lands.
+// Dispatching each admission wave used to push its task-end events one sift
+// at a time; this scale is where PushBatch's amortization is measured.
+var hugeScale = largeScale{
+	machines: 25000, slots: 20,
+	fgMap: 100000, fgReduce: 20000,
+	bgTasks: 600000, bg2Tasks: 300000,
+	bgGuar: 250000, bg2Guar: 125000, fgGuar: 100000,
+	mtbf: 5000 * time.Hour,
 }
 
 func (ls largeScale) config() Config {
@@ -133,3 +146,8 @@ func BenchmarkEngineLargeCluster(b *testing.B) { benchLargeCluster(b, cosmosScal
 // BenchmarkEngineMidCluster is the same workload at 1/10 scale, cheap
 // enough to compare engines before and after the scale work.
 func BenchmarkEngineMidCluster(b *testing.B) { benchLargeCluster(b, midScale) }
+
+// BenchmarkEngineHugeCluster is the 10⁶-task acceptance benchmark: 5e5
+// slots stay saturated (≥5e5 concurrent tasks), so every dispatch wave is
+// an arrival burst and the event queue holds ≥5e5 in-flight task ends.
+func BenchmarkEngineHugeCluster(b *testing.B) { benchLargeCluster(b, hugeScale) }

@@ -19,6 +19,7 @@ const flatEps = 1e-9
 //
 //jockey:hotpath
 func (r *replay) arbitrate(now time.Duration) (granted, latched int) {
+	r.heapOps = 0
 	if len(r.active) == 0 {
 		return 0, 0
 	}
@@ -77,6 +78,21 @@ func (r *replay) fairShare(budget int) {
 	}
 }
 
+// bidder is one non-latched job's position in the epoch's water-fill: its
+// candidate allocations (the model grid), the model-estimated deadline
+// utility at each, and the rung currently granted. bestK/bestRate cache the
+// job's best affordable jump for the marginal-utility heap; idx is -1 until
+// the floor pass seats the job. The slice of bidders lives on the replay
+// and is reused every epoch, so steady-state arbitration does not allocate.
+type bidder struct {
+	fj       *fleetJob
+	cands    []int
+	util     []float64
+	idx      int32
+	bestK    int32
+	bestRate float64
+}
+
 // waterFill is the headline discipline: greedy marginal-utility
 // water-filling over each job's model-estimated deadline utility.
 //
@@ -87,16 +103,15 @@ func (r *replay) fairShare(budget int) {
 // Everyone else starts at the floor (the smallest grid allocation) and the
 // remaining budget goes, step by step, to the job whose next candidate
 // jump buys the most utility per token. Ties break in admission order.
+//
+// The greedy rounds run on an indexed max-heap over per-bidder marginal
+// rates (see greedyFill); the retired O(rounds × bidders) scan survives as
+// fillRef, the reference implementation the heap is differential-tested
+// against on every epoch of every test replay (Config.selfCheck).
 func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
 	remaining := budget
-	type bidder struct {
-		fj    *fleetJob
-		cands []int
-		util  []float64
-		idx   int // current rung in cands; -1 before the floor is granted
-	}
-	var bidders []*bidder
-	var latchedJobs []*fleetJob
+	r.bidders = r.bidders[:0]
+	latchedJobs := r.latchedScratch[:0]
 	for _, fj := range r.active {
 		st := fj.handle.State()
 		d := r.decide(fj, st)
@@ -122,7 +137,7 @@ func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
 		}
 		fj.latched = false
 		cands := fj.jk.Grid()
-		util := make([]float64, len(cands))
+		util := fj.utilBuf
 		for i, a := range cands {
 			util[i] = float64(fj.arr.value) * fj.util.Utility(fj.ctrl.PredictAt(st, a))
 		}
@@ -137,51 +152,14 @@ func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
 		}
 		fj.wanted = cands[best]
 		fj.grant = 0
-		bidders = append(bidders, &bidder{fj: fj, cands: cands, util: util, idx: -1})
+		r.bidders = append(r.bidders, bidder{fj: fj, cands: cands, util: util, idx: -1})
 	}
 
-	// Floor pass: every non-latched job gets the smallest grid allocation
-	// (admission order) so nobody is silently starved to zero.
-	for _, b := range bidders {
-		floor := b.cands[0]
-		if floor > remaining {
-			break
-		}
-		b.idx = 0
-		b.fj.grant = floor
-		remaining -= floor
+	if r.cfg.selfCheck != nil {
+		defer r.checkAgainstRef(snapshotBidders(r.bidders), remaining)
 	}
 
-	// Greedy marginal water-fill. Each round picks the single affordable
-	// jump (to ANY higher candidate, which handles non-concave curves
-	// whose gain sits past a flat stretch) with the best utility-per-token
-	// rate; earliest-admitted wins ties. Flat jobs never clear flatEps and
-	// stay at the floor.
-	for remaining > 0 {
-		var pick *bidder
-		pickTo, pickRate := 0, 0.0
-		for _, b := range bidders {
-			if b.idx < 0 {
-				continue
-			}
-			for k := b.idx + 1; k < len(b.cands); k++ {
-				cost := b.cands[k] - b.cands[b.idx]
-				if cost > remaining {
-					break
-				}
-				rate := (b.util[k] - b.util[b.idx]) / float64(cost)
-				if rate > flatEps && rate > pickRate+flatEps {
-					pick, pickTo, pickRate = b, k, rate
-				}
-			}
-		}
-		if pick == nil {
-			break
-		}
-		remaining -= pick.cands[pickTo] - pick.cands[pick.idx]
-		pick.idx = pickTo
-		pick.fj.grant = pick.cands[pickTo]
-	}
+	remaining = r.fill(remaining)
 
 	// Leftover pass: budget nobody's curve wanted tops up contained
 	// panic latches (admission order) toward their full bid — the sick
@@ -195,7 +173,175 @@ func (r *replay) waterFill(now time.Duration, budget int) (latched int) {
 			remaining -= extra
 		}
 	}
+	r.latchedScratch = latchedJobs[:0]
 	return latched
+}
+
+// fill seats every bidder at the floor and runs the greedy heap rounds;
+// factored out of waterFill so tests can drive the exact production path
+// on hand-built bidder sets against fillRef.
+//
+//jockey:hotpath
+func (r *replay) fill(remaining int) int {
+	// Floor pass: every non-latched job gets the smallest grid allocation
+	// (admission order) so nobody is silently starved to zero.
+	for i := range r.bidders {
+		b := &r.bidders[i]
+		floor := b.cands[0]
+		if floor > remaining {
+			break
+		}
+		b.idx = 0
+		b.fj.grant = floor
+		remaining -= floor
+	}
+	return r.greedyFill(remaining)
+}
+
+// greedyFill runs the marginal water-fill rounds on an indexed max-heap:
+// each bidder contributes (at most) one entry, its best affordable jump —
+// the ascent to ANY higher candidate (which handles non-concave curves
+// whose gain sits past a flat stretch) with the best utility-per-token
+// rate, smallest rung on ties, eligible only above flatEps. The heap
+// orders entries by (rate desc, admission asc), so its top — once
+// validated — is exactly the pick the retired full scan made.
+//
+// Laziness is sound because remaining only shrinks: a bidder's cached best
+// jump is an upper bound on its current best (shrinking the affordable set
+// can only remove jumps, never improve one). A popped top whose cached
+// jump is no longer affordable is recomputed under the tighter budget and
+// re-seated; a top whose jump IS affordable is ≥ every other entry's upper
+// bound, hence the true global argmax. Each grant advances a rung and each
+// recompute follows a grant, so an epoch costs O(grants × (K + log n))
+// instead of O(grants × n × K) — linear, not quadratic, in active jobs.
+//
+//jockey:hotpath
+func (r *replay) greedyFill(remaining int) int {
+	r.bheap = r.bheap[:0]
+	for i := range r.bidders {
+		b := &r.bidders[i]
+		if b.idx < 0 {
+			continue
+		}
+		if b.bestJump(remaining) {
+			r.bheapPush(int32(i))
+		}
+	}
+	for remaining > 0 && len(r.bheap) > 0 {
+		b := &r.bidders[r.bheap[0]]
+		cost := b.cands[b.bestK] - b.cands[b.idx]
+		if cost > remaining {
+			// Stale upper bound: the budget tightened since this entry was
+			// cached. Recompute under what is actually left.
+			if b.bestJump(remaining) {
+				r.bheapFix()
+			} else {
+				r.bheapPop()
+			}
+			continue
+		}
+		remaining -= cost
+		b.idx = b.bestK
+		b.fj.grant = b.cands[b.idx]
+		if b.bestJump(remaining) {
+			r.bheapFix()
+		} else {
+			r.bheapPop()
+		}
+	}
+	return remaining
+}
+
+// bestJump caches b's best affordable jump from its current rung, returning
+// false when no eligible jump remains (curve flat or budget too tight).
+// Scanning rungs in ascending order with a strict improvement test keeps
+// the smallest rung among equal-rate maxima — the retired scan's tie-break.
+//
+//jockey:hotpath
+func (b *bidder) bestJump(remaining int) bool {
+	b.bestK = -1
+	b.bestRate = 0
+	base := b.util[b.idx]
+	c0 := b.cands[b.idx]
+	for k := int(b.idx) + 1; k < len(b.cands); k++ {
+		cost := b.cands[k] - c0
+		if cost > remaining {
+			break
+		}
+		if rate := (b.util[k] - base) / float64(cost); rate > flatEps && rate > b.bestRate {
+			b.bestK, b.bestRate = int32(k), rate
+		}
+	}
+	return b.bestK >= 0
+}
+
+// bidderAbove orders the marginal-utility heap: higher rate first, earliest
+// admission on ties (bidders are appended in admission order, so the slice
+// index is the admission rank).
+//
+//jockey:hotpath
+func (r *replay) bidderAbove(i, j int32) bool {
+	bi, bj := &r.bidders[i], &r.bidders[j]
+	if bi.bestRate != bj.bestRate {
+		return bi.bestRate > bj.bestRate
+	}
+	return i < j
+}
+
+//jockey:hotpath
+func (r *replay) bheapPush(i int32) {
+	r.heapOps++
+	r.bheap = append(r.bheap, i)
+	c := len(r.bheap) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !r.bidderAbove(r.bheap[c], r.bheap[p]) {
+			return
+		}
+		r.bheap[c], r.bheap[p] = r.bheap[p], r.bheap[c]
+		c = p
+	}
+}
+
+//jockey:hotpath
+func (r *replay) bheapPop() {
+	r.heapOps++
+	n := len(r.bheap) - 1
+	r.bheap[0] = r.bheap[n]
+	r.bheap = r.bheap[:n]
+	if n > 1 {
+		r.bheapDown()
+	}
+}
+
+// bheapFix re-seats the top entry after its rate was recomputed (rates only
+// ever fall, so the entry can only sink).
+//
+//jockey:hotpath
+func (r *replay) bheapFix() {
+	r.heapOps++
+	r.bheapDown()
+}
+
+//jockey:hotpath
+func (r *replay) bheapDown() {
+	i := 0
+	n := len(r.bheap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		top := left
+		if right := left + 1; right < n && r.bidderAbove(r.bheap[right], r.bheap[left]) {
+			top = right
+		}
+		if !r.bidderAbove(r.bheap[top], r.bheap[i]) {
+			return
+		}
+		r.bheap[i], r.bheap[top] = r.bheap[top], r.bheap[i]
+		i = top
+	}
 }
 
 // decide runs the job's control stack for this epoch. For guarded jobs this

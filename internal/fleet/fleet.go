@@ -21,6 +21,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/jockeysim/jockey/internal/cluster"
@@ -99,6 +100,12 @@ type Config struct {
 	Engine *cluster.Engine
 	// OnEpoch, if set, observes every arbitration epoch (jockeyd -v).
 	OnEpoch func(EpochStats)
+
+	// selfCheck, set only by tests, receives a formatted report whenever
+	// the heap water-fill diverges from the retired reference scan (see
+	// arbiter_ref.go). Nil in production: the differential replay costs an
+	// extra full fillRef per epoch.
+	selfCheck func(format string, args ...any)
 }
 
 // EpochStats is the per-epoch observer record.
@@ -112,6 +119,12 @@ type EpochStats struct {
 	Budget, Granted int
 	// Latched counts jobs currently held at their guard-panic grant.
 	Latched int
+	// Bidders counts the non-latched jobs that bid in this epoch's
+	// water-fill; HeapOps counts the marginal-utility heap operations
+	// (pushes, pops, re-seats) the greedy rounds took. Together they are
+	// the arbiter's epoch cost: HeapOps staying near-linear in Bidders is
+	// the fleet-scale contract (both are 0 outside utility-greedy).
+	Bidders, HeapOps int
 }
 
 func (c *Config) fill() error {
@@ -194,8 +207,17 @@ type fleetJob struct {
 	reservation int
 	grant       int
 	wanted      int // last epoch's unconstrained desire, for gap attribution
+	utilBuf     []float64 // per-grid utility scratch, sized once at admission
 	latched     bool
 	finalized   bool
+}
+
+// dueEntry indexes one pending offer by the earliest epoch it may be
+// considered: its arrival time, or its deferred retry time.
+type dueEntry struct {
+	due time.Duration
+	id  int // offer id, the total order within one due time
+	fj  *fleetJob
 }
 
 type replay struct {
@@ -203,8 +225,28 @@ type replay struct {
 	models *ModelCache
 	c      *cluster.Cluster
 
-	pending []*fleetJob // not yet admitted or rejected, in offer order
-	active  []*fleetJob // admitted and unfinished, in admission order
+	// due is a min-heap (by due time, then offer id) over offers not yet
+	// admitted or rejected. Epochs where nothing is due pay one peek
+	// instead of a scan of every pending offer, so epoch cost tracks
+	// active jobs, not admitted-plus-waiting ones. dueScratch collects the
+	// offers that fire in one epoch for re-sorting into offer order.
+	due        []dueEntry
+	dueScratch []dueEntry
+	active     []*fleetJob // admitted and unfinished, in admission order
+
+	// Incremental admission bookkeeping: demandCache is the committed load
+	// (recomputed once per epoch, bumped per admission, replacing a full
+	// demand() sum per due offer), deferred counts pending offers in
+	// backoff (replacing a per-epoch scan of every pending offer).
+	demandCache int
+	deferred    int
+
+	// Arbitration scratch, reused every epoch (see arbiter.go): bidder
+	// arena, marginal-utility heap, latched-jobs list, heap-op counter.
+	bidders        []bidder
+	bheap          []int32
+	latchedScratch []*fleetJob
+	heapOps        int
 
 	last time.Duration // previous epoch time, for gap integration
 	held bool
@@ -252,12 +294,12 @@ func Run(cfg Config) (*Result, error) {
 			Arrival:  arr.at,
 			Deadline: arr.deadline,
 		}
-		r.pending = append(r.pending, &fleetJob{
+		r.duePush(dueEntry{due: arr.at, id: arr.id, fj: &fleetJob{
 			arr:  arr,
 			jk:   jk,
 			prof: prof,
 			rec:  &r.res.Jobs[i],
-		})
+		}})
 	}
 
 	clusterCfg := cluster.Config{
@@ -306,24 +348,20 @@ func (r *replay) epoch(now time.Duration) bool {
 	r.admitDue(now)
 	granted, latched := r.arbitrate(now)
 	if r.cfg.OnEpoch != nil {
-		deferred := 0
-		for _, fj := range r.pending {
-			if fj.deferrals > 0 {
-				deferred++
-			}
-		}
 		r.cfg.OnEpoch(EpochStats{
 			At:       now,
 			Active:   len(r.active),
-			Deferred: deferred,
+			Deferred: r.deferred,
 			Rejected: r.res.Rejected,
 			Budget:   r.effectiveBudget(),
 			Granted:  granted,
 			Latched:  latched,
+			Bidders:  len(r.bidders),
+			HeapOps:  r.heapOps,
 		})
 	}
 	r.last = now
-	if len(r.pending) == 0 && len(r.active) == 0 {
+	if len(r.due) == 0 && len(r.active) == 0 {
 		return r.unhold(false)
 	}
 	return true
@@ -431,21 +469,74 @@ func (r *replay) releaseFinished(now time.Duration) {
 }
 
 // admitDue processes, in offer order, every pending job whose arrival (or
-// deferred retry) time has come.
+// deferred retry) time has come. The due heap hands over exactly the
+// offers that fire this epoch, so an epoch where nothing is due costs one
+// peek — not a scan of every job still waiting in backoff.
 func (r *replay) admitDue(now time.Duration) {
-	keep := r.pending[:0]
-	for _, fj := range r.pending {
-		due := fj.arr.at <= now && fj.nextTry <= now
-		if !due {
-			keep = append(keep, fj)
-			continue
-		}
-		if r.tryAdmit(now, fj) {
-			continue // admitted or rejected; either way resolved
-		}
-		keep = append(keep, fj)
+	if len(r.due) == 0 || r.due[0].due > now {
+		return
 	}
-	r.pending = keep
+	// The committed-load sum is O(active): take it once for the whole
+	// batch of due offers and bump it per admission (admit), instead of
+	// re-summing under every offer.
+	r.demandCache = r.demand()
+	r.dueScratch = r.dueScratch[:0]
+	for len(r.due) > 0 && r.due[0].due <= now {
+		r.dueScratch = append(r.dueScratch, r.duePop())
+	}
+	// Offers firing together are considered in offer order — the order
+	// the retired full pending scan used — not in (due, id) pop order.
+	sort.Slice(r.dueScratch, func(i, j int) bool { return r.dueScratch[i].id < r.dueScratch[j].id })
+	for _, e := range r.dueScratch {
+		if !r.tryAdmit(now, e.fj) {
+			// Deferred: back into the heap at its next retry time.
+			r.duePush(dueEntry{due: e.fj.nextTry, id: e.id, fj: e.fj})
+		}
+	}
+}
+
+func dueLess(a, b dueEntry) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.id < b.id
+}
+
+func (r *replay) duePush(e dueEntry) {
+	r.due = append(r.due, e)
+	c := len(r.due) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !dueLess(r.due[c], r.due[p]) {
+			break
+		}
+		r.due[c], r.due[p] = r.due[p], r.due[c]
+		c = p
+	}
+}
+
+func (r *replay) duePop() dueEntry {
+	top := r.due[0]
+	n := len(r.due) - 1
+	r.due[0] = r.due[n]
+	r.due = r.due[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if rt := l + 1; rt < n && dueLess(r.due[rt], r.due[l]) {
+			m = rt
+		}
+		if !dueLess(r.due[m], r.due[i]) {
+			break
+		}
+		r.due[i], r.due[m] = r.due[m], r.due[i]
+		i = m
+	}
+	return top
 }
 
 // tryAdmit resolves one due offer: admit, reject, or (returning false)
@@ -471,7 +562,7 @@ func (r *replay) tryAdmit(now time.Duration, fj *fleetJob) bool {
 	if r.cfg.Arbitration == FIFO {
 		budget = r.cfg.Budget
 	}
-	if r.demand()+need > budget {
+	if r.demandCache+need > budget {
 		if r.cfg.Arbitration == FIFO {
 			// The static baseline never revisits: no fit now, no job.
 			r.reject(fj, "no-fit")
@@ -490,6 +581,9 @@ func (r *replay) tryAdmit(now time.Duration, fj *fleetJob) bool {
 			fj.backoff *= 2
 		}
 		fj.deferrals++
+		if fj.deferrals == 1 {
+			r.deferred++
+		}
 		fj.nextTry = now + fj.backoff
 		fj.rec.Deferrals = fj.deferrals
 		return false
@@ -502,6 +596,9 @@ func (r *replay) tryAdmit(now time.Duration, fj *fleetJob) bool {
 }
 
 func (r *replay) reject(fj *fleetJob, reason string) {
+	if fj.deferrals > 0 {
+		r.deferred--
+	}
 	fj.rec.Rejected = true
 	fj.rec.RejectReason = reason
 	// A turned-away job is a broken promise at full weight: it scores the
@@ -574,9 +671,14 @@ func (r *replay) admit(now time.Duration, fj *fleetJob, need int) error {
 		return fmt.Errorf("fleet: submit job %d: %w", fj.arr.id, err)
 	}
 	fj.handle = h
+	if fj.deferrals > 0 {
+		r.deferred--
+	}
 	fj.reservation = need
 	fj.grant = need
 	fj.wanted = need
+	fj.utilBuf = make([]float64, len(fj.jk.Grid()))
+	r.demandCache += need
 	fj.rec.Admitted = true
 	fj.rec.AdmittedAt = now
 	fj.rec.Reservation = need

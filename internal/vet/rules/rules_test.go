@@ -59,6 +59,23 @@ func TestHotAllocCalendarQueue(t *testing.T) {
 	vettest.Run(t, "testdata/hotalloc/calq", rules.HotAlloc)
 }
 
+// TestHotAllocWaterFill runs the gate over the indexed-heap water-fill
+// idiom (internal/fleet's arbitration hot path): epoch reslices and
+// amortized appends into the arbiter-owned bidder arena and heap index
+// must pass, while fresh per-epoch slices, per-job utility buffers, sort
+// closures, and debug formatting are flagged.
+func TestHotAllocWaterFill(t *testing.T) {
+	vettest.Run(t, "testdata/hotalloc/waterfill", rules.HotAlloc)
+}
+
+// TestHotAllocBatchDispatch runs the gate over the batch-dispatch idiom
+// (internal/cluster's arrival-burst path): buffering task-end events in an
+// engine-owned batch slice and flushing through one bulk insert must pass,
+// while a fresh buffer per pass, map-keyed staging, and boxing are flagged.
+func TestHotAllocBatchDispatch(t *testing.T) {
+	vettest.Run(t, "testdata/hotalloc/batchdisp", rules.HotAlloc)
+}
+
 // TestSeedFlowHotAllocInteraction runs both analyzers over one fixture
 // where single lines violate both rules, pinning that a scoped
 // //jockeyvet:ignore suppresses exactly the named analyzer.

@@ -1,0 +1,84 @@
+// Fixture: hotalloc over heap water-fill idiom — the indexed max-heap
+// arbitration shape internal/fleet's hot paths use. An epoch reslices the
+// struct-owned bidder arena and heap index, appends into their standing
+// capacity, and sifts by swapping ints (allowed), while the retired
+// shortcuts — a fresh bidder slice per epoch, per-job utility buffers,
+// sort closures, debug formatting — are exactly what the gate must flag.
+package waterfill
+
+import (
+	"fmt"
+	"sort"
+)
+
+type job struct {
+	grant int
+	util  []float64
+}
+
+type bidder struct {
+	fj   *job
+	rate float64
+	idx  int32
+}
+
+type arbiter struct {
+	bidders []bidder
+	heap    []int32
+	scratch []float64
+}
+
+//jockey:hotpath
+func (a *arbiter) beginEpoch(jobs []*job) {
+	// Allowed: the arena and heap are owned by the arbiter; reslicing to
+	// zero length and appending amortize into standing capacity.
+	a.bidders = a.bidders[:0]
+	a.heap = a.heap[:0]
+	for _, fj := range jobs {
+		a.bidders = append(a.bidders, bidder{fj: fj, idx: -1})
+	}
+}
+
+//jockey:hotpath
+func (a *arbiter) push(i int32) {
+	a.heap = append(a.heap, i)
+	for c := len(a.heap) - 1; c > 0; {
+		p := (c - 1) / 2
+		if a.bidders[a.heap[c]].rate <= a.bidders[a.heap[p]].rate {
+			return
+		}
+		a.heap[c], a.heap[p] = a.heap[p], a.heap[c]
+		c = p
+	}
+}
+
+//jockey:hotpath
+func (a *arbiter) epochFresh(jobs []*job) {
+	bidders := make([]bidder, 0, len(jobs)) // want `make allocates`
+	for _, fj := range jobs {
+		util := []float64{0, 1} // want `slice literal allocates`
+		fj.util = util
+		bidders = append(bidders, bidder{fj: fj}) // want `append to a local slice allocates`
+	}
+	a.bidders = append(a.bidders[:0], bidders...)
+}
+
+//jockey:hotpath
+func (a *arbiter) pickSorted() {
+	// The retired selection: materialize and sort — the closure allocates.
+	sort.Slice(a.bidders, func(i, j int) bool { // want `closure captures` `boxes it`
+		return a.bidders[i].rate > a.bidders[j].rate
+	})
+}
+
+//jockey:hotpath
+func (a *arbiter) debugTop() string {
+	return fmt.Sprintf("top=%d", a.heap[0]) // want `fmt.Sprintf allocates`
+}
+
+// Rebuilding the arena between replays is cold and may allocate freely.
+func (a *arbiter) coldRebuild(n int) {
+	a.bidders = make([]bidder, 0, n)
+	a.heap = make([]int32, 0, n)
+	a.scratch = make([]float64, n)
+}

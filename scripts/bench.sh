@@ -23,6 +23,15 @@
 #   one iteration replays a full multi-hour horizon, so counts are fixed):
 #     internal/cluster: BenchmarkEngineLargeCluster (10k machines, ≥1e5 tasks)
 #     internal/cluster: BenchmarkEngineMidCluster   (1/10 scale trend line)
+#   fleetscale — thousands-of-jobs arbitration + arrival-wave batching (the
+#   PR-10 fleet-scale contract):
+#     internal/fleet:  BenchmarkFleetScaleReplay (2,400-offer replay)
+#     internal/eventq: BenchmarkArrivalWaveSingle/Batch (5e5-event wave)
+#
+# Output files may carry hand-added "baseline_*" blocks recording pre-change
+# numbers (BENCH_largecluster.json does); those are history, so the script
+# refuses to clobber such a file unless BENCH_FORCE=1 is set — re-point the
+# output or merge the fresh "benchmarks" array by hand instead.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +39,12 @@ SUITE="${1:-simcore}"
 OUT="${2:-BENCH_${SUITE}.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
+
+if [ -e "$OUT" ] && grep -q '"baseline' "$OUT" && [ "${BENCH_FORCE:-0}" != "1" ]; then
+  echo "bench.sh: $OUT holds a hand-added baseline block; refusing to overwrite it." >&2
+  echo "bench.sh: pass a different output path, or set BENCH_FORCE=1 and re-add the baseline." >&2
+  exit 3
+fi
 
 run() { # run <package> <bench regex> [benchtime]
   go test -run NONE -bench "$2" -benchmem -benchtime "${3:-${BENCHTIME:-1s}}" -count 1 "$1" | tee -a "$TMP"
@@ -54,15 +69,24 @@ largecluster)
   run ./internal/cluster 'BenchmarkEngineMidCluster$' "${BENCHTIME:-3x}"
   run ./internal/cluster 'BenchmarkEngineLargeCluster$' "${BENCHTIME:-3x}"
   ;;
+fleetscale)
+  run ./internal/fleet 'BenchmarkFleetScaleReplay$' "${BENCHTIME:-3x}"
+  run ./internal/eventq 'BenchmarkArrivalWave' "${BENCHTIME:-5x}"
+  ;;
 *)
-  echo "bench.sh: unknown suite '$SUITE' (want simcore, grid, fleet or largecluster)" >&2
+  echo "bench.sh: unknown suite '$SUITE' (want simcore, grid, fleet, largecluster or fleetscale)" >&2
   exit 2
   ;;
 esac
 
 # Parse `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op [extra metrics]`
 # into JSON. awk keeps the script dependency-free (no jq in the container).
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v suite="$SUITE" '
+# Every suite gets the same metadata header — suite, timestamp, toolchain,
+# benchtime — so files are comparable PR-over-PR without guessing how they
+# were produced.
+GOVER="$(go env GOVERSION)"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v suite="$SUITE" \
+  -v gover="$GOVER" -v benchtime="${BENCHTIME:-suite-default}" '
 BEGIN { n = 0 }
 /^Benchmark/ {
   name = $1
@@ -81,7 +105,7 @@ BEGIN { n = 0 }
   rows[n++] = line
 }
 END {
-  printf "{\n  \"suite\": \"%s\",\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", suite, date
+  printf "{\n  \"suite\": \"%s\",\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", suite, date, gover, benchtime
   for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
   printf "  ]\n}\n"
 }' "$TMP" >"$OUT"
